@@ -1,0 +1,76 @@
+// A1 — ablation of the delta-truncation (Lemma 2.4): executing the final
+// 2-TOURNAMENT iteration with probability delta per node is what parks the
+// high-side fraction exactly on T = 1/2 - eps.  Without it the tail
+// overshoots by up to eps and the end-to-end accuracy degrades.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/rank_stats.hpp"
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/two_tournament.hpp"
+#include "util/stats.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "A1", "ablation: delta-truncated final iteration (Lemma 2.4)",
+      "with truncation |H_t|/n = T +- eps/2; without it the square "
+      "overshoots");
+  constexpr std::uint32_t kN = 1 << 16;
+  const double phi = 0.25;
+  const std::size_t trials = bench::scaled_trials(3);
+
+  bench::Table table({"eps", "variant", "|H_t|/n", "target T",
+                      "overshoot", "end-to-end success"});
+  for (const double eps : {0.15, 0.1, 0.05}) {
+    for (const bool truncate : {true, false}) {
+      RunningStats tail, success;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto keys = make_keys(
+            generate_values(Distribution::kUniformReal, kN, 95 + t));
+        const RankScale scale(keys);
+
+        Network net(kN, 8100 + 23 * t);
+        std::vector<Key> state(keys.begin(), keys.end());
+        two_tournament(net, state, phi, eps, truncate);
+        std::size_t high = 0;
+        for (const Key& k : state) {
+          if (scale.quantile_of(k) > phi + eps) ++high;
+        }
+        tail.add(static_cast<double>(high) / kN);
+
+        Network net2(kN, 8200 + 23 * t);
+        ApproxQuantileParams params;
+        params.phi = phi;
+        params.eps = eps;
+        params.truncate_last = truncate;
+        const auto r = approx_quantile_keys(net2, keys, params);
+        success.add(
+            evaluate_outputs(scale, r.outputs, phi, eps).frac_within_eps);
+      }
+      const double target = 0.5 - eps;
+      table.add_row({bench::fmt(eps, 2), truncate ? "truncated" : "plain",
+                     bench::fmt(tail.mean(), 4), bench::fmt(target, 4),
+                     bench::fmt(target - tail.mean(), 4),
+                     bench::fmt_pct(success.mean())});
+    }
+  }
+  table.print();
+  std::printf(
+      "Shape check: the plain variant undershoots T (the high side "
+      "squares straight past it), biasing the\nmedian of the Phase-II "
+      "configuration away from the target window.\n\n");
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

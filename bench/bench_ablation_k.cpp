@@ -1,0 +1,67 @@
+// A2 — ablation of the final sample size K (Lemma 2.17): each node outputs
+// the median of K sampled values.  Larger K suppresses the residual
+// ~n^(-1/3) tails at a linear round cost.
+#include <cstdio>
+
+#include "analysis/rank_stats.hpp"
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "util/stats.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "A2", "ablation: final sample size K (Lemma 2.17)",
+      "K = O(1) samples suffice; failure probability decays exponentially "
+      "in K");
+  constexpr std::uint32_t kN = 1 << 14;
+  // eps deliberately below the floor (forced tournament route) so the
+  // residual tails are large enough for K to visibly matter.
+  const double phi = 0.5, eps = 0.05;
+  const std::size_t trials = bench::scaled_trials(5);
+
+  bench::Table table({"K", "rounds", "success", "failing nodes / run",
+                      "max |err|"});
+  for (const std::uint32_t k : {1u, 3u, 7u, 15u, 31u, 63u}) {
+    RunningStats rounds, success, failures, max_err;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto values =
+          generate_values(Distribution::kUniformReal, kN, 120 + t);
+      const RankScale scale(make_keys(values));
+      Network net(kN, 9100 + 29 * t);
+      ApproxQuantileParams params;
+      params.phi = phi;
+      params.eps = eps;
+      params.final_sample_size = k;
+      params.force_tournament = true;
+      const auto r = approx_quantile(net, values, params);
+      const auto s = evaluate_outputs(scale, r.outputs, phi, eps);
+      rounds.add(static_cast<double>(r.rounds));
+      success.add(s.frac_within_eps);
+      failures.add((1.0 - s.frac_within_eps) * kN);
+      max_err.add(s.max_abs_error);
+    }
+    table.add_row({bench::fmt_u(k), bench::fmt(rounds.mean(), 0),
+                   bench::fmt_pct(success.mean(), 3),
+                   bench::fmt(failures.mean(), 1),
+                   bench::fmt(max_err.mean(), 4)});
+  }
+  table.print();
+  std::printf(
+      "Shape check: the worst-node error shrinks steadily with K while "
+      "rounds grow linearly; success saturates\nbecause the median target "
+      "is benign — K buys insurance exactly where Lemma 2.17 says "
+      "(residual tails).\n\n");
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E2c — accuracy of the approximate pipeline: the rank of every node's
+// output must land in [(phi-eps)n, (phi+eps)n].
+//
+// Reports all-node success rates and the error distribution across
+// distributions and targets, plus an ASCII histogram of normalized rank
+// errors for the hardest configuration.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E2c", "approximate quantile accuracy",
+      "every node outputs a value of rank within (phi +- eps) n w.h.p.");
+  constexpr std::uint32_t kN = 1 << 16;
+  const std::size_t trials = bench::scaled_trials(5);
+
+  bench::Table table({"distribution", "phi", "eps", "success", "mean |err|",
+                      "max |err|", "rounds"});
+  Histogram err_hist(0.0, 2.0, 20);  // |rank error| / eps
+
+  for (const auto dist :
+       {Distribution::kUniformReal, Distribution::kZipf,
+        Distribution::kBimodal}) {
+    for (const double phi : {0.1, 0.5, 0.9}) {
+      for (const double eps : {0.05, 0.1}) {
+        RunningStats success, mean_err, max_err, rounds;
+        for (std::size_t t = 0; t < trials; ++t) {
+          const auto values = generate_values(dist, kN, 40 + t);
+          const auto keys = make_keys(values);
+          const RankScale scale(keys);
+          Network net(kN, 800 + 31 * t);
+          ApproxQuantileParams params;
+          params.phi = phi;
+          params.eps = eps;
+          const auto r = approx_quantile(net, values, params);
+          const auto s = evaluate_outputs(scale, r.outputs, phi, eps);
+          success.add(s.frac_within_eps);
+          mean_err.add(s.mean_abs_error);
+          max_err.add(s.max_abs_error);
+          rounds.add(static_cast<double>(r.rounds));
+          for (const Key& k : r.outputs) {
+            err_hist.add(std::abs(scale.quantile_of(k) - phi) / eps);
+          }
+        }
+        table.add_row({to_string(dist), bench::fmt(phi, 1),
+                       bench::fmt(eps, 2), bench::fmt_pct(success.mean()),
+                       bench::fmt(mean_err.mean(), 4),
+                       bench::fmt(max_err.mean(), 4),
+                       bench::fmt(rounds.mean(), 0)});
+      }
+    }
+  }
+  table.print();
+
+  std::printf("Normalized rank-error distribution (|err|/eps, all configs):\n%s\n",
+              err_hist.render(50).c_str());
+  std::printf("Fraction of node-outputs with |err| <= eps: %s\n\n",
+              bench::fmt_pct(err_hist.cdf(1.0), 2).c_str());
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gq::bench {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      if (c == 0) {
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      } else {
+        std::printf(" %*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_u(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+void print_header(const std::string& id, const std::string& title,
+                  const std::string& claim) {
+  std::printf("## %s — %s\n\nPaper claim: %s\n\n", id.c_str(), title.c_str(),
+              claim.c_str());
+}
+
+double scale() {
+  if (const char* s = std::getenv("GQ_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+bool fast_mode() {
+  const char* s = std::getenv("GQ_BENCH_FAST");
+  return s != nullptr && s[0] == '1';
+}
+
+std::size_t scaled_trials(std::size_t base) {
+  const double t = std::round(static_cast<double>(base) * scale());
+  return static_cast<std::size_t>(std::max(1.0, t));
+}
+
+}  // namespace gq::bench

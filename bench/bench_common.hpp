@@ -1,0 +1,39 @@
+// Shared output helpers for the experiment harness: every bench prints
+// markdown tables so EXPERIMENTS.md rows can be pasted verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gq::bench {
+
+// Markdown table with left-aligned first column and right-aligned rest.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+[[nodiscard]] std::string fmt_u(std::uint64_t v);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+// Experiment banner: id and the paper claim being exercised.
+void print_header(const std::string& id, const std::string& title,
+                  const std::string& claim);
+
+// GQ_BENCH_SCALE env (default 1.0) scales trial counts; GQ_BENCH_FAST=1
+// trims the largest problem sizes for smoke runs.
+[[nodiscard]] double scale();
+[[nodiscard]] bool fast_mode();
+
+// max(1, round(base * scale()))
+[[nodiscard]] std::size_t scaled_trials(std::size_t base);
+
+}  // namespace gq::bench

@@ -1,0 +1,108 @@
+// E3 — Theorem 1.3: any gossip algorithm needs
+// max(1/2 loglog n, log4(8/eps)) rounds for eps-approximate quantiles.
+//
+// Simulates the most generous spreading of the distinguishing information
+// (every node pushes AND pulls each round) on the adversarial instance and
+// reports measured rounds-to-inform-everyone against the bound — and
+// against our algorithm's round count, which must dominate it.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/theory_bounds.hpp"
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/lower_bound.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E3", "information-spread lower bound",
+      "Theorem 1.3: < max(0.5 loglog n, log4(8/eps)) rounds => failure "
+      "probability >= 1/3");
+  const std::size_t trials = bench::scaled_trials(5);
+
+  {
+    std::printf("### rounds to inform all nodes vs n (eps = 0.02)\n\n");
+    bench::Table table(
+        {"n", "|S|", "measured rounds", "bound", "0.5 loglog n",
+         "log4(8/eps)"});
+    std::vector<std::uint32_t> sizes = {1u << 10, 1u << 12, 1u << 14,
+                                        1u << 16, 1u << 18, 1u << 20};
+    if (bench::fast_mode()) sizes.resize(4);
+    for (const std::uint32_t n : sizes) {
+      RunningStats rounds;
+      std::size_t informed0 = 0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto pair = make_adversarial_pair(n, 0.02, 50 + t);
+        informed0 = 2 * pair.shift + 1;
+        Network net(n, 900 + t);
+        const auto r = simulate_information_spread(net, pair.informative);
+        rounds.add(static_cast<double>(r.rounds_to_all));
+      }
+      const double nn = static_cast<double>(n);
+      table.add_row(
+          {bench::fmt_u(n), bench::fmt_u(informed0),
+           bench::fmt(rounds.mean(), 1),
+           bench::fmt(lower_bound_rounds(0.02, n), 2),
+           bench::fmt(0.5 * std::log2(std::log2(nn)), 2),
+           bench::fmt(std::log(8.0 / 0.02) / std::log(4.0), 2)});
+    }
+    table.print();
+  }
+
+  {
+    std::printf("### rounds to inform all nodes vs eps (n = 2^16)\n\n");
+    constexpr std::uint32_t kN = 1 << 16;
+    bench::Table table({"eps", "|S|", "measured rounds", "log4(8/eps)",
+                        "bound"});
+    for (const double eps : {0.1, 0.05, 0.02, 0.01, 0.005, 0.001}) {
+      RunningStats rounds;
+      std::size_t informed0 = 0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto pair = make_adversarial_pair(kN, eps, 70 + t);
+        informed0 = 2 * pair.shift + 1;
+        Network net(kN, 1100 + t);
+        const auto r = simulate_information_spread(net, pair.informative);
+        rounds.add(static_cast<double>(r.rounds_to_all));
+      }
+      table.add_row({bench::fmt(eps, 3), bench::fmt_u(informed0),
+                     bench::fmt(rounds.mean(), 1),
+                     bench::fmt(std::log(8.0 / eps) / std::log(4.0), 2),
+                     bench::fmt(lower_bound_rounds(eps, kN), 2)});
+    }
+    table.print();
+  }
+
+  {
+    std::printf(
+        "### sanity: our algorithm's rounds dominate the lower bound "
+        "(n = 2^14, phi = 0.5)\n\n");
+    constexpr std::uint32_t kN = 1 << 14;
+    bench::Table table({"eps", "lower bound", "algorithm rounds"});
+    for (const double eps : {0.2, 0.1, 0.05}) {
+      const auto pair = make_adversarial_pair(kN, eps, 91);
+      Network net(kN, 1300);
+      ApproxQuantileParams params;
+      params.phi = 0.5;
+      params.eps = eps;
+      const auto r = approx_quantile(net, pair.scenario_a, params);
+      table.add_row({bench::fmt(eps, 2),
+                     bench::fmt(lower_bound_rounds(eps, kN), 2),
+                     bench::fmt_u(r.rounds)});
+    }
+    table.print();
+  }
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E8 — message and bit complexity of every protocol vs n.
+//
+// The model allows O(log n)-bit messages; this bench verifies the budget
+// and reports total traffic so deployments can size their networks.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/kdg03_quantile.hpp"
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/exact_quantile.hpp"
+#include "core/own_rank.hpp"
+#include "workload/distributions.hpp"
+
+namespace gq {
+namespace {
+
+void add_row(bench::Table& table, const char* name, std::uint32_t n,
+             const Metrics& m) {
+  table.add_row({name, bench::fmt_u(n), bench::fmt_u(m.rounds),
+                 bench::fmt_u(m.messages),
+                 bench::fmt(static_cast<double>(m.messages) / n, 1),
+                 bench::fmt(static_cast<double>(m.message_bits) / 1e6, 2),
+                 bench::fmt_u(m.max_message_bits)});
+}
+
+void run() {
+  bench::print_header(
+      "E8", "message complexity",
+      "all protocols respect the O(log n)-bit message budget; traffic is "
+      "O(n) messages per round");
+  bench::Table table({"protocol", "n", "rounds", "messages", "msgs/node",
+                      "total Mbits", "max msg bits"});
+
+  // Sizes start at 2^12 so eps = 0.15 stays above the tournament floor and
+  // every row exercises the protocol it names.
+  std::vector<std::uint32_t> sizes = {1u << 12, 1u << 14, 1u << 16};
+  if (bench::fast_mode()) sizes.pop_back();
+  for (const std::uint32_t n : sizes) {
+    const auto values =
+        generate_values(Distribution::kUniformReal, n, 90);
+    {
+      Network net(n, 7100);
+      ApproxQuantileParams p;
+      p.phi = 0.5;
+      p.eps = 0.15;
+      (void)approx_quantile(net, values, p);
+      add_row(table, "approx (eps=0.15)", n, net.metrics());
+    }
+    {
+      Network net(n, 7200);
+      ExactQuantileParams p;
+      p.phi = 0.5;
+      (void)exact_quantile(net, values, p);
+      add_row(table, "exact (ours)", n, net.metrics());
+    }
+    {
+      Network net(n, 7300);
+      Kdg03Params p;
+      p.phi = 0.5;
+      (void)kdg03_exact_quantile(net, values, p);
+      add_row(table, "exact (KDG03)", n, net.metrics());
+    }
+    // Own-rank's inner runs need eps/4 above the floor: only meaningful
+    // from n = 2^14 up.
+    if (n >= (1u << 14)) {
+      Network net(n, 7400);
+      OwnRankParams p;
+      p.eps = 0.45;
+      (void)own_rank(net, values, p);
+      add_row(table, "own-rank (eps=0.45)", n, net.metrics());
+    }
+  }
+  table.print();
+  std::printf(
+      "Budget check: 'max msg bits' stays within a small constant of "
+      "log2(n) words for every protocol\n(push-sum pairs and token weights "
+      "are the constants above the key size).\n\n");
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

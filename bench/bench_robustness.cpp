@@ -1,0 +1,142 @@
+// E4 — Theorem 1.4: the algorithms tolerate per-node/round failure
+// probability mu < 1 with only constant-factor slowdown; the approximate
+// algorithm serves all but ~n/2^t nodes given t extra coverage rounds.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/exact_quantile.hpp"
+#include "core/robust.hpp"
+#include "core/three_tournament.hpp"
+#include "util/stats.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E4", "robustness to random failures",
+      "Theorem 1.4: same asymptotic rounds under failure prob mu; all but "
+      "n/2^t nodes served with +t rounds");
+  const std::size_t trials = bench::scaled_trials(3);
+
+  {
+    constexpr std::uint32_t kN = 1 << 13;
+    const double phi = 0.25, eps = 0.12;
+    std::printf("### approximate quantile vs mu (n = %u, phi = %.2f, eps = %.2f)\n\n",
+                kN, phi, eps);
+    bench::Table table({"mu", "pulls/iter", "rounds", "served",
+                        "success (served)", "rounds vs mu=0"});
+    double rounds_mu0 = 0.0;
+    for (const double mu : {0.0, 0.1, 0.3, 0.5, 0.7}) {
+      RunningStats rounds, served, success;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto values =
+            generate_values(Distribution::kUniformReal, kN, 10 + t);
+        const RankScale scale(make_keys(values));
+        Network net(kN, 2100 + 7 * t,
+                    mu > 0.0 ? FailureModel::uniform(mu) : FailureModel{});
+        ApproxQuantileParams params;
+        params.phi = phi;
+        params.eps = eps;
+        params.robust_coverage_rounds = 14;
+        const auto r = approx_quantile(net, values, params);
+        rounds.add(static_cast<double>(r.rounds));
+        served.add(static_cast<double>(r.served_nodes()) / kN);
+        std::size_t ok = 0, tot = 0;
+        for (std::uint32_t v = 0; v < kN; ++v) {
+          if (!r.valid[v]) continue;
+          ++tot;
+          ok += scale.within_eps(r.outputs[v], phi, eps) ? 1 : 0;
+        }
+        success.add(tot ? static_cast<double>(ok) / tot : 0.0);
+      }
+      if (mu == 0.0) rounds_mu0 = rounds.mean();
+      table.add_row({bench::fmt(mu, 1),
+                     bench::fmt_u(robust_pull_count(mu, 6.0)),
+                     bench::fmt(rounds.mean(), 0),
+                     bench::fmt_pct(served.mean()),
+                     bench::fmt_pct(success.mean()),
+                     bench::fmt(rounds.mean() / rounds_mu0, 2) + "x"});
+    }
+    table.print();
+    std::printf(
+        "Shape check: rounds grow by the constant fan-out factor "
+        "Theta(1/(1-mu) log 1/(1-mu)), not with n.\n\n");
+  }
+
+  {
+    std::printf("### coverage tail: Theorem 1.4 allows up to n/2^t "
+                "unserved nodes after t extra rounds\n(n = 2^13; "
+                "heterogeneous failures: 25%% of nodes lose 90%% of "
+                "messages, rest 5%%.  The implementation's\nfan-out is "
+                "sized for the worst node, so it beats the allowance with "
+                "slack — the allowance itself is tight\nonly for protocols "
+                "running the minimum number of rounds, per the paper's "
+                "exp(-t) participation argument.)\n\n");
+    constexpr std::uint32_t kN = 1 << 13;
+    std::vector<double> probs(kN, 0.05);
+    for (std::uint32_t v = 0; v < kN; v += 4) probs[v] = 0.9;
+    bench::Table table({"t", "measured unserved", "allowed (n/2^t)"});
+    for (const std::uint32_t t : {0u, 2u, 4u, 6u, 8u, 12u}) {
+      RunningStats unserved;
+      for (std::size_t s = 0; s < trials; ++s) {
+        const auto values =
+            generate_values(Distribution::kUniformReal, kN, 20 + s);
+        Network net(kN, 3100 + 13 * s, FailureModel::per_node(probs));
+        ApproxQuantileParams params;
+        params.phi = 0.5;
+        params.eps = 0.12;
+        params.robust_coverage_rounds = t;
+        const auto r = approx_quantile(net, values, params);
+        unserved.add(1.0 -
+                     static_cast<double>(r.served_nodes()) / kN);
+      }
+      table.add_row({bench::fmt_u(t), bench::fmt_pct(unserved.mean(), 3),
+                     bench::fmt_pct(std::pow(0.5, t), 3)});
+    }
+    table.print();
+  }
+
+  {
+    std::printf("### exact quantile under failures (phi = 0.5)\n\n");
+    bench::Table table({"n", "mu", "rounds", "exact answers"});
+    for (const std::uint32_t n : {512u, 2048u}) {
+      for (const double mu : {0.0, 0.3}) {
+        RunningStats rounds, correct;
+        for (std::size_t t = 0; t < trials; ++t) {
+          const auto values =
+              generate_values(Distribution::kUniformReal, n, 30 + t);
+          const RankScale scale(make_keys(values));
+          Network net(n, 4100 + 17 * t,
+                      mu > 0.0 ? FailureModel::uniform(mu) : FailureModel{});
+          ExactQuantileParams params;
+          params.phi = 0.5;
+          const auto r = exact_quantile(net, values, params);
+          rounds.add(static_cast<double>(r.rounds));
+          correct.add(r.answer.value == scale.exact_quantile(0.5).value
+                          ? 1.0
+                          : 0.0);
+        }
+        table.add_row({bench::fmt_u(n), bench::fmt(mu, 1),
+                       bench::fmt(rounds.mean(), 0),
+                       bench::fmt_pct(correct.mean(), 0)});
+      }
+    }
+    table.print();
+  }
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

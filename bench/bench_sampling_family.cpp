@@ -1,0 +1,124 @@
+// E7 — Appendix A: the sampling-family trade-off space.
+//
+//   direct sampling   O(log n / eps^2) rounds, O(log n)-bit messages
+//   doubling          O(log log n + log 1/eps) rounds, O(log^2 n/eps^2)-bit messages
+//   compaction        same rounds, O((1/eps)(log log n + log 1/eps) log n)-bit messages
+//   tournaments       same rounds AND O(log n)-bit messages (the paper's point)
+//
+// The table makes the two-axis dominance of the tournament pipeline
+// explicit: it is the only row that is simultaneously round-optimal and
+// message-budget compliant.
+#include <cstdio>
+
+#include "analysis/rank_stats.hpp"
+#include "baselines/doubling.hpp"
+#include "baselines/sampling.hpp"
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "util/stats.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E7", "sampling family: rounds vs message size",
+      "Appendix A + Section 2: tournaments match the sampling round "
+      "complexity with O(log n)-bit messages");
+  constexpr std::uint32_t kN = 1 << 12;
+  const double phi = 0.5;
+  const std::size_t trials = bench::scaled_trials(3);
+
+  for (const double eps : {0.15, 0.1}) {
+    std::printf("### n = %u, phi = %.1f, eps = %.2f (success window 2*eps "
+                "for the Appendix-A family, eps for tournaments)\n\n",
+                kN, phi, eps);
+    bench::Table table({"algorithm", "rounds", "max msg bits",
+                        "total Mbits", "success"});
+
+    RunningStats sa_r, sa_b, sa_tb, sa_s;
+    RunningStats db_r, db_b, db_tb, db_s;
+    RunningStats cp_r, cp_b, cp_tb, cp_s;
+    RunningStats tn_r, tn_b, tn_tb, tn_s;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto values =
+          generate_values(Distribution::kUniformReal, kN, 80 + t);
+      const auto keys = make_keys(values);
+      const RankScale scale(keys);
+
+      {
+        Network net(kN, 6100 + t);
+        SamplingParams p;
+        p.phi = phi;
+        p.eps = eps;
+        const auto r = sampling_quantile(net, values, p);
+        sa_r.add(static_cast<double>(r.rounds));
+        sa_b.add(static_cast<double>(net.metrics().max_message_bits));
+        sa_tb.add(static_cast<double>(net.metrics().message_bits) / 1e6);
+        sa_s.add(evaluate_outputs(scale, r.outputs, phi, 2 * eps)
+                     .frac_within_eps);
+      }
+      {
+        Network net(kN, 6200 + t);
+        DoublingParams p;
+        p.phi = phi;
+        p.eps = eps;
+        const auto r = doubling_quantile(net, values, p);
+        db_r.add(static_cast<double>(r.rounds));
+        db_b.add(static_cast<double>(r.max_message_bits));
+        db_tb.add(static_cast<double>(net.metrics().message_bits) / 1e6);
+        db_s.add(evaluate_outputs(scale, r.outputs, phi, 2 * eps)
+                     .frac_within_eps);
+      }
+      {
+        Network net(kN, 6300 + t);
+        CompactionParams p;
+        p.phi = phi;
+        p.eps = eps;
+        const auto r = compaction_quantile(net, values, p);
+        cp_r.add(static_cast<double>(r.rounds));
+        cp_b.add(static_cast<double>(r.max_message_bits));
+        cp_tb.add(static_cast<double>(net.metrics().message_bits) / 1e6);
+        cp_s.add(evaluate_outputs(scale, r.outputs, phi, 2 * eps)
+                     .frac_within_eps);
+      }
+      {
+        Network net(kN, 6400 + t);
+        ApproxQuantileParams p;
+        p.phi = phi;
+        p.eps = eps;
+        p.force_tournament = true;  // keep the row on the tournament route
+        const auto r = approx_quantile(net, values, p);
+        tn_r.add(static_cast<double>(r.rounds));
+        tn_b.add(static_cast<double>(net.metrics().max_message_bits));
+        tn_tb.add(static_cast<double>(net.metrics().message_bits) / 1e6);
+        tn_s.add(
+            evaluate_outputs(scale, r.outputs, phi, eps).frac_within_eps);
+      }
+    }
+    const auto row = [&](const char* name, RunningStats& r, RunningStats& b,
+                         RunningStats& tb, RunningStats& s) {
+      table.add_row({name, bench::fmt(r.mean(), 0), bench::fmt(b.mean(), 0),
+                     bench::fmt(tb.mean(), 1), bench::fmt_pct(s.mean())});
+    };
+    row("direct sampling", sa_r, sa_b, sa_tb, sa_s);
+    row("doubling (A.2)", db_r, db_b, db_tb, db_s);
+    row("compaction (A.6)", cp_r, cp_b, cp_tb, cp_s);
+    row("tournaments (Thm 2.1)", tn_r, tn_b, tn_tb, tn_s);
+    table.print();
+  }
+  std::printf(
+      "Shape check: sampling is round-expensive; doubling/compaction are "
+      "round-cheap but message-fat;\nonly the tournament row is cheap on "
+      "both axes (the O(log n)-bit model budget).\n\n");
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// A4 — sketch ablation: accuracy vs space for the Appendix-A compaction
+// machinery and the KLL sketch it approximates.
+//
+// The paper's Appendix argues even an optimal sketch cannot meet the
+// O(log n)-bit message budget; this bench quantifies the accuracy/space
+// frontier those arguments rest on.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "baselines/doubling.hpp"
+#include "bench_common.hpp"
+#include "sketch/kll.hpp"
+#include "util/stats.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "A4", "sketch ablation: accuracy vs space",
+      "Appendix A / [KLL16]: rank error scales like 1/k; the message cost "
+      "of shipping a sketch scales like k log n");
+
+  {
+    std::printf("### KLL sketch: rank error vs k (n = 50000 inserts)\n\n");
+    constexpr std::size_t kInserts = 50000;
+    const auto values =
+        generate_values(Distribution::kUniformReal, kInserts, 7);
+    const auto keys = make_keys(values);
+    std::vector<Key> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    bench::Table table({"k", "stored keys", "message bits (n=2^14)",
+                        "max rank err", "err * k"});
+    for (const std::size_t k : {32u, 64u, 128u, 256u, 512u}) {
+      KllSketch sk(k, 3);
+      for (const Key& key : keys) sk.insert(key);
+      double max_err = 0.0;
+      for (double q = 0.05; q < 1.0; q += 0.05) {
+        const auto idx = static_cast<std::size_t>(q * (kInserts - 1));
+        const double est = static_cast<double>(sk.rank(sorted[idx]));
+        max_err = std::max(
+            max_err, std::abs(est - static_cast<double>(idx + 1)) /
+                         static_cast<double>(kInserts));
+      }
+      table.add_row({bench::fmt_u(k), bench::fmt_u(sk.space()),
+                     bench::fmt_u(sk.message_bits(1 << 14)),
+                     bench::fmt(max_err, 5),
+                     bench::fmt(max_err * static_cast<double>(k), 2)});
+    }
+    table.print();
+    std::printf(
+        "Shape check: 'err * k' is roughly constant (the O(1/k) law), "
+        "while message bits grow linearly in k —\nso meeting eps via a "
+        "sketch costs Theta((1/eps) log n)-bit messages, above the "
+        "model's O(log n) budget.\n\n");
+  }
+
+  {
+    std::printf("### compaction-doubling: capacity constant sweep "
+                "(n = 2^12, eps = 0.1, success window 2*eps)\n\n");
+    constexpr std::uint32_t kN = 1 << 12;
+    const std::size_t trials = bench::scaled_trials(3);
+    bench::Table table({"capacity const", "buffer keys", "max msg bits",
+                        "success", "mean |err|"});
+    for (const double c : {1.0, 2.0, 4.0, 8.0}) {
+      RunningStats buf, bits, success, err;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto values =
+            generate_values(Distribution::kGaussian, kN, 90 + t);
+        const auto keys = make_keys(values);
+        const RankScale scale(keys);
+        Network net(kN, 13100 + 41 * t);
+        CompactionParams p;
+        p.phi = 0.5;
+        p.eps = 0.1;
+        p.capacity_constant = c;
+        const auto r = compaction_quantile(net, values, p);
+        const auto s = evaluate_outputs(scale, r.outputs, 0.5, 0.2);
+        buf.add(static_cast<double>(r.final_buffer_size));
+        bits.add(static_cast<double>(r.max_message_bits));
+        success.add(s.frac_within_eps);
+        err.add(s.mean_abs_error);
+      }
+      table.add_row({bench::fmt(c, 0), bench::fmt(buf.mean(), 0),
+                     bench::fmt(bits.mean(), 0),
+                     bench::fmt_pct(success.mean()),
+                     bench::fmt(err.mean(), 4)});
+    }
+    table.print();
+    std::printf(
+        "Shape check: halving the buffer capacity doubles the compaction "
+        "error term of Corollary A.4; the\ndefault constant (4) keeps the "
+        "compaction loss well below the sampling error.\n\n");
+  }
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

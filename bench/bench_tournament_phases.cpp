@@ -1,0 +1,113 @@
+// E5 — Lemmas 2.2-2.6 and 2.12-2.16: the measured tail fractions of both
+// tournament phases track the analytic recurrences h_{i+1} = h_i^2 and
+// l_{i+1} = 3l^2 - 2l^3, and the iteration counts respect the bounds.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "analysis/recurrences.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "bench_common.hpp"
+#include "core/three_tournament.hpp"
+#include "core/two_tournament.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E5", "tournament dynamics vs analytic recurrences",
+      "Lemma 2.5: |H_i|/n tracks h_{i+1} = h_i^2; Lemma 2.15: tails track "
+      "3l^2-2l^3; iteration counts within Lemmas 2.2/2.12");
+  constexpr std::uint32_t kN = 1 << 16;
+  const double phi = 0.25, eps = 0.1;
+
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 3));
+  const RankScale scale(keys);
+
+  {
+    std::printf("### Phase I (2-TOURNAMENT): measured |H_i|/n vs h_i "
+                "(n = 2^16, phi = %.2f, eps = %.2f)\n\n", phi, eps);
+    bench::Table table({"iteration", "analytic h_i", "measured |H_i|/n",
+                        "rel. deviation"});
+    Network net(kN, 41);
+    std::vector<Key> state(keys.begin(), keys.end());
+    std::vector<double> measured;
+    const auto outcome = two_tournament(
+        net, state, phi, eps, true,
+        [&](std::size_t, std::span<const Key> s) {
+          std::size_t high = 0;
+          for (const Key& k : s) {
+            if (scale.quantile_of(k) > phi + eps) ++high;
+          }
+          measured.push_back(static_cast<double>(high) / kN);
+        });
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      const double analytic = outcome.schedule.h[i + 1];
+      table.add_row(
+          {bench::fmt_u(i + 1), bench::fmt(analytic, 4),
+           bench::fmt(measured[i], 4),
+           bench::fmt_pct(std::abs(measured[i] - analytic) /
+                          std::max(analytic, 1e-9))});
+    }
+    table.print();
+  }
+
+  {
+    std::printf("### Phase II (3-TOURNAMENT): measured tails vs l_i "
+                "(n = 2^16, eps = %.2f)\n\n", eps);
+    // Run on the raw input with the median as target so quantiles are
+    // directly comparable.
+    bench::Table table({"iteration", "analytic l_i", "measured low tail",
+                        "measured high tail"});
+    Network net(kN, 43);
+    std::vector<Key> state(keys.begin(), keys.end());
+    std::vector<std::pair<double, double>> tails;
+    const auto outcome = three_tournament(
+        net, state, eps, 15,
+        [&](std::size_t, std::span<const Key> s) {
+          std::size_t low = 0, high = 0;
+          for (const Key& k : s) {
+            const double q = scale.quantile_of(k);
+            if (q < 0.5 - eps) ++low;
+            if (q > 0.5 + eps) ++high;
+          }
+          tails.emplace_back(static_cast<double>(low) / kN,
+                             static_cast<double>(high) / kN);
+        });
+    for (std::size_t i = 0; i < tails.size(); ++i) {
+      table.add_row({bench::fmt_u(i + 1),
+                     bench::fmt(outcome.schedule.l[i + 1], 5),
+                     bench::fmt(tails[i].first, 5),
+                     bench::fmt(tails[i].second, 5)});
+    }
+    table.print();
+  }
+
+  {
+    std::printf("### iteration counts vs Lemma bounds\n\n");
+    bench::Table table({"eps", "phase1 iters", "Lemma 2.2 bound",
+                        "phase2 iters", "Lemma 2.12 bound"});
+    for (const double e : {0.2, 0.1, 0.05, 0.02}) {
+      const auto s1 = two_tournament_schedule(1.0 - e, e);
+      const auto s2 = three_tournament_schedule(e, kN);
+      table.add_row({bench::fmt(e, 2), bench::fmt_u(s1.iterations()),
+                     bench::fmt(phase1_iteration_bound(e), 2),
+                     bench::fmt_u(s2.iterations()),
+                     bench::fmt(phase2_iteration_bound(e, kN), 2)});
+    }
+    table.print();
+  }
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

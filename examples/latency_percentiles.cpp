@@ -1,0 +1,60 @@
+// Distributed latency-percentile monitoring: a fleet of servers each holds
+// its latest request latency; the fleet agrees on p50/p95/p99 without a
+// metrics aggregator.  Compares the approximate pipeline against the exact
+// algorithm and the KDG03 baseline on rounds and traffic.
+//
+//   build/examples/latency_percentiles
+#include <cstdio>
+
+#include "analysis/rank_stats.hpp"
+#include "baselines/kdg03_quantile.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/exact_quantile.hpp"
+#include "workload/scenario.hpp"
+#include "workload/tiebreak.hpp"
+
+int main() {
+  constexpr std::uint32_t kServers = 16384;
+  const auto latencies = gq::make_latency_trace(kServers, /*seed=*/11);
+  const gq::RankScale scale(gq::make_keys(latencies));
+
+  std::printf("latency fleet: %u servers (log-normal body, Pareto tail)\n\n",
+              kServers);
+  std::printf("%-6s | %-12s | %-12s | %-10s | %s\n", "pctl", "approx (ms)",
+              "exact (ms)", "truth (ms)", "rounds approx/exact/kdg03");
+  std::printf("-------|--------------|--------------|------------|-----------"
+              "---------------\n");
+
+  for (const double phi : {0.5, 0.95, 0.99}) {
+    gq::Network net_a(kServers, 100 + static_cast<std::uint64_t>(phi * 100));
+    gq::ApproxQuantileParams ap;
+    ap.phi = phi;
+    ap.eps = 0.08;  // above eps_tournament_floor(16384) ~= 0.079
+    const auto approx = gq::approx_quantile(net_a, latencies, ap);
+
+    gq::Network net_e(kServers, 200 + static_cast<std::uint64_t>(phi * 100));
+    gq::ExactQuantileParams ep;
+    ep.phi = phi;
+    const auto exact = gq::exact_quantile(net_e, latencies, ep);
+
+    gq::Network net_k(kServers, 300 + static_cast<std::uint64_t>(phi * 100));
+    gq::Kdg03Params kp;
+    kp.phi = phi;
+    const auto base = gq::kdg03_exact_quantile(net_k, latencies, kp);
+
+    std::printf("p%-5.0f | %12.2f | %12.2f | %10.2f | %llu / %llu / %llu\n",
+                100 * phi, approx.outputs[0].value, exact.answer.value,
+                scale.exact_quantile(phi).value,
+                static_cast<unsigned long long>(approx.rounds),
+                static_cast<unsigned long long>(exact.rounds),
+                static_cast<unsigned long long>(base.rounds));
+  }
+
+  std::printf(
+      "\nTakeaway: the approximate pipeline answers in tens of rounds and "
+      "is RANK-accurate (within eps*n ranks) —\nbut on a heavy tail a few "
+      "ranks can span a large value gap (see p99), so tail SLOs should use "
+      "the exact\nalgorithm, which still beats the classic KDG03 selection "
+      "on rounds at the median.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Failure-injection demo: the same median query under increasingly hostile
+// message-loss rates, showing Theorem 1.4 in action — accuracy holds, only
+// the constant-factor fan-out grows, and stragglers get covered by a few
+// extra rounds.
+//
+//   build/examples/robustness_demo
+#include <cstdio>
+
+#include "analysis/rank_stats.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "core/approx_quantile.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+int main() {
+  constexpr std::uint32_t kNodes = 8192;
+  const auto values = gq::generate_values(
+      gq::Distribution::kGaussian, kNodes, /*seed=*/3);
+  const gq::RankScale scale(gq::make_keys(values));
+
+  std::printf("median query under message loss (n = %u, eps = 0.1)\n\n",
+              kNodes);
+  std::printf("%-6s | %-10s | %-8s | %-9s | %-9s | %s\n", "loss", "pulls/it",
+              "rounds", "served", "accurate", "median estimate @node0");
+  std::printf("-------|------------|----------|-----------|-----------|------"
+              "---------------\n");
+
+  for (const double mu : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    gq::Network net(kNodes, 77,
+                    mu > 0.0 ? gq::FailureModel::uniform(mu)
+                             : gq::FailureModel{});
+    gq::ApproxQuantileParams params;
+    params.phi = 0.5;
+    params.eps = 0.1;
+    params.robust_coverage_rounds = 14;
+    const auto r = gq::approx_quantile(net, values, params);
+
+    std::size_t accurate = 0, served = 0;
+    for (std::uint32_t v = 0; v < kNodes; ++v) {
+      if (!r.valid[v]) continue;
+      ++served;
+      accurate += scale.within_eps(r.outputs[v], 0.5, 0.1) ? 1 : 0;
+    }
+    std::printf("%4.0f%%  | %10u | %8llu | %8.2f%% | %8.2f%% | %.3f\n",
+                100 * mu, gq::robust_pull_count(mu, 6.0),
+                static_cast<unsigned long long>(r.rounds),
+                100.0 * static_cast<double>(served) / kNodes,
+                served ? 100.0 * static_cast<double>(accurate) / served : 0.0,
+                r.outputs[0].value);
+  }
+
+  std::printf("\nTrue median: %.3f.  Note rounds grow only with the "
+              "1/(1-mu) log(1/(1-mu)) fan-out, never with n.\n",
+              scale.exact_quantile(0.5).value);
+  return 0;
+}

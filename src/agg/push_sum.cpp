@@ -1,0 +1,85 @@
+#include "agg/push_sum.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gq {
+namespace {
+
+// A push-sum message carries two reals (value mass, weight mass).
+constexpr std::uint64_t kPushSumMessageBits = 128;
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  return static_cast<std::uint64_t>(std::bit_width(n - 1));
+}
+
+std::uint64_t scale_for_failures(const Network& net, std::uint64_t rounds) {
+  const double mu = net.failures().max_probability();
+  if (mu <= 0.0) return rounds;
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(rounds) / (1.0 - mu)));
+}
+
+}  // namespace
+
+std::uint64_t push_sum_rounds_for_exact(const Network& net) {
+  // Calibrated: the rounding cliff (first integer-exact counts across all
+  // nodes) sits near 2 log2 n + 30 for n up to 2^18; this schedule clears
+  // it with ~1/3 margin.  See EXPERIMENTS.md (counting calibration).
+  return scale_for_failures(net, 3 * ceil_log2(net.size()) + 20);
+}
+
+std::uint64_t push_sum_rounds_default(const Network& net) {
+  return scale_for_failures(net, 3 * ceil_log2(net.size()) + 20);
+}
+
+PushSumResult push_sum_average(Network& net, std::span<const double> x,
+                               std::uint64_t rounds) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(x.size() == n, "one input value per node required");
+  if (rounds == 0) rounds = push_sum_rounds_default(net);
+
+  std::vector<double> s(x.begin(), x.end());
+  std::vector<double> w(n, 1.0);
+  std::vector<double> s_in(n), w_in(n);
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const std::vector<std::uint32_t> dests =
+        net.push_round(kPushSumMessageBits);
+    std::fill(s_in.begin(), s_in.end(), 0.0);
+    std::fill(w_in.begin(), w_in.end(), 0.0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t d = dests[v];
+      if (d == Network::kNoPeer) continue;  // failed: keeps whole pair
+      s[v] *= 0.5;
+      w[v] *= 0.5;
+      s_in[d] += s[v];
+      w_in[d] += w[v];
+    }
+    for (std::uint32_t v = 0; v < n; ++v) {
+      s[v] += s_in[v];
+      w[v] += w_in[v];
+    }
+  }
+
+  PushSumResult out;
+  out.rounds = rounds;
+  out.estimates.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    // w_v > 0 always: a node keeps at least half of its own weight each
+    // round, so w_v >= 2^-rounds > 0.
+    out.estimates[v] = s[v] / w[v];
+  }
+  return out;
+}
+
+PushSumResult push_sum_sum(Network& net, std::span<const double> x,
+                           std::uint64_t rounds) {
+  PushSumResult res = push_sum_average(net, x, rounds);
+  for (auto& e : res.estimates) e *= static_cast<double>(net.size());
+  return res;
+}
+
+}  // namespace gq

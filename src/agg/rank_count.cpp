@@ -1,0 +1,75 @@
+#include "agg/rank_count.hpp"
+
+#include <cmath>
+
+#include "agg/push_sum.hpp"
+#include "util/require.hpp"
+
+namespace gq {
+
+CountResult gossip_count(Network& net, const std::vector<bool>& indicator,
+                         std::uint64_t rounds) {
+  GQ_REQUIRE(indicator.size() == net.size(),
+             "one indicator bit per node required");
+  if (rounds == 0) rounds = push_sum_rounds_for_exact(net);
+
+  std::vector<double> x(indicator.size());
+  for (std::size_t v = 0; v < indicator.size(); ++v) {
+    x[v] = indicator[v] ? 1.0 : 0.0;
+  }
+  PushSumResult sum = push_sum_sum(net, x, rounds);
+
+  CountResult out;
+  out.rounds = sum.rounds;
+  out.counts.resize(sum.estimates.size());
+  for (std::size_t v = 0; v < sum.estimates.size(); ++v) {
+    const double rounded = std::round(sum.estimates[v]);
+    out.counts[v] = rounded <= 0.0 ? 0 : static_cast<std::uint64_t>(rounded);
+  }
+  return out;
+}
+
+CountResult gossip_rank(Network& net, std::span<const Key> keys,
+                        const Key& threshold, std::uint64_t rounds) {
+  std::vector<bool> indicator(keys.size());
+  for (std::size_t v = 0; v < keys.size(); ++v) {
+    indicator[v] = keys[v] <= threshold;
+  }
+  return gossip_count(net, indicator, rounds);
+}
+
+TripleCountResult gossip_count3(Network& net, const std::vector<bool>& ind_a,
+                                const std::vector<bool>& ind_b,
+                                const std::vector<bool>& ind_c,
+                                std::uint64_t rounds) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(ind_a.size() == n && ind_b.size() == n && ind_c.size() == n,
+             "one indicator bit per node required");
+  if (rounds == 0) rounds = push_sum_rounds_for_exact(net);
+
+  std::vector<std::array<double, 3>> x(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    x[v] = {ind_a[v] ? 1.0 : 0.0, ind_b[v] ? 1.0 : 0.0, ind_c[v] ? 1.0 : 0.0};
+  }
+  const MultiPushSumResult<3> avg = push_sum_average_multi<3>(
+      net, std::span<const std::array<double, 3>>(x), rounds);
+
+  TripleCountResult out;
+  out.rounds = avg.rounds;
+  out.a.resize(n);
+  out.b.resize(n);
+  out.c.resize(n);
+  const auto to_count = [n](double e) {
+    const double rounded = std::round(e * static_cast<double>(n));
+    return rounded <= 0.0 ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(rounded);
+  };
+  for (std::uint32_t v = 0; v < n; ++v) {
+    out.a[v] = to_count(avg.estimates[v][0]);
+    out.b[v] = to_count(avg.estimates[v][1]);
+    out.c[v] = to_count(avg.estimates[v][2]);
+  }
+  return out;
+}
+
+}  // namespace gq

@@ -1,0 +1,42 @@
+// Exact gossip counting (Algorithm 3, Step 5): compute #{v : x_v <= z} at
+// every node by running push-sum on 0/1 indicators long enough that the
+// relative error is below 1/(2n), then rounding to the nearest integer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct CountResult {
+  std::vector<std::uint64_t> counts;  // per-node rounded count
+  std::uint64_t rounds = 0;
+};
+
+// Counts the number of true entries in `indicator` at every node.
+[[nodiscard]] CountResult gossip_count(Network& net,
+                                       const std::vector<bool>& indicator,
+                                       std::uint64_t rounds = 0);
+
+// Rank of `threshold` within `keys`: #{v : keys[v] <= threshold}.
+[[nodiscard]] CountResult gossip_rank(Network& net, std::span<const Key> keys,
+                                      const Key& threshold,
+                                      std::uint64_t rounds = 0);
+
+// Three exact counts in one diffusion (shared-weight 3D push-sum): per-node
+// rounded counts of each indicator vector.
+struct TripleCountResult {
+  std::vector<std::uint64_t> a, b, c;
+  std::uint64_t rounds = 0;
+};
+
+[[nodiscard]] TripleCountResult gossip_count3(
+    Network& net, const std::vector<bool>& ind_a,
+    const std::vector<bool>& ind_b, const std::vector<bool>& ind_c,
+    std::uint64_t rounds = 0);
+
+}  // namespace gq

@@ -1,0 +1,44 @@
+#include "agg/spread.hpp"
+
+#include <bit>
+#include <cmath>
+#include <functional>
+
+namespace gq {
+namespace {
+
+SpreadResult to_key_result(GenericSpreadResult<Key>&& g) {
+  SpreadResult out;
+  out.values = std::move(g.values);
+  out.rounds = g.rounds;
+  out.converged = g.converged;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t spread_rounds_cap(const Network& net) {
+  const auto log2n = static_cast<std::uint64_t>(
+      std::bit_width(static_cast<std::uint64_t>(net.size()) - 1));
+  const std::uint64_t base = 8 * log2n + 50;
+  const double mu = net.failures().max_probability();
+  if (mu <= 0.0) return base;
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(base) / (1.0 - mu)));
+}
+
+SpreadResult spread_max(Network& net, std::span<const Key> init,
+                        std::uint64_t max_rounds) {
+  return to_key_result(
+      spread_best(net, init, std::less<Key>{}, key_bits(net.size()),
+                  max_rounds));
+}
+
+SpreadResult spread_min(Network& net, std::span<const Key> init,
+                        std::uint64_t max_rounds) {
+  return to_key_result(
+      spread_best(net, init, std::greater<Key>{}, key_bits(net.size()),
+                  max_rounds));
+}
+
+}  // namespace gq

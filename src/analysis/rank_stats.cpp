@@ -1,0 +1,69 @@
+#include "analysis/rank_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+RankScale::RankScale(std::span<const Key> keys)
+    : sorted_(keys.begin(), keys.end()) {
+  GQ_REQUIRE(!sorted_.empty(), "RankScale needs a non-empty instance");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+std::uint64_t RankScale::rank(const Key& k) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), k);
+  return static_cast<std::uint64_t>(it - sorted_.begin());
+}
+
+double RankScale::quantile_of(const Key& k) const {
+  return static_cast<double>(rank(k)) / static_cast<double>(size());
+}
+
+const Key& RankScale::key_at_rank(std::uint64_t r) const {
+  GQ_REQUIRE(r >= 1 && r <= size(), "rank out of range");
+  return sorted_[r - 1];
+}
+
+std::uint64_t RankScale::target_rank(double phi) const {
+  GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
+  const auto n = static_cast<double>(size());
+  auto r = static_cast<std::uint64_t>(std::ceil(phi * n));
+  return std::clamp<std::uint64_t>(r, 1, size());
+}
+
+const Key& RankScale::exact_quantile(double phi) const {
+  return key_at_rank(target_rank(phi));
+}
+
+bool RankScale::within_eps(const Key& k, double phi, double eps) const {
+  const auto n = static_cast<double>(size());
+  const double r = static_cast<double>(rank(k));
+  const double lo = std::max(1.0, std::floor((phi - eps) * n));
+  const double hi = std::min(n, std::ceil((phi + eps) * n));
+  return r >= lo - 1e-9 && r <= hi + 1e-9;
+}
+
+QuantileErrorSummary evaluate_outputs(const RankScale& scale,
+                                      std::span<const Key> outputs, double phi,
+                                      double eps) {
+  QuantileErrorSummary s;
+  s.nodes = outputs.size();
+  if (outputs.empty()) return s;
+  std::size_t ok = 0;
+  double sum_err = 0.0;
+  for (const Key& out : outputs) {
+    const double err = std::abs(scale.quantile_of(out) - phi);
+    s.max_abs_error = std::max(s.max_abs_error, err);
+    sum_err += err;
+    if (scale.within_eps(out, phi, eps)) ++ok;
+  }
+  s.mean_abs_error = sum_err / static_cast<double>(outputs.size());
+  s.frac_within_eps =
+      static_cast<double>(ok) / static_cast<double>(outputs.size());
+  return s;
+}
+
+}  // namespace gq

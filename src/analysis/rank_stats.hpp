@@ -1,0 +1,55 @@
+// Offline rank evaluation: the omniscient yardstick experiments measure
+// protocol outputs against.  Nothing here is visible to the protocols.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+
+namespace gq {
+
+// Precomputed sorted view of an instance for O(log n) rank queries.
+class RankScale {
+ public:
+  explicit RankScale(std::span<const Key> keys);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  // 1-based rank: #{keys <= k}.
+  [[nodiscard]] std::uint64_t rank(const Key& k) const;
+
+  // rank(k) / n in (0, 1].
+  [[nodiscard]] double quantile_of(const Key& k) const;
+
+  // The key at 1-based rank r.
+  [[nodiscard]] const Key& key_at_rank(std::uint64_t r) const;
+
+  // The exact phi-quantile: key at rank clamp(ceil(phi*n), 1, n).
+  [[nodiscard]] const Key& exact_quantile(double phi) const;
+
+  // Target rank for an exact phi-quantile query.
+  [[nodiscard]] std::uint64_t target_rank(double phi) const;
+
+  // Whether `k`'s rank lies in the eps-approximate window
+  // [(phi-eps)*n, (phi+eps)*n] (ranks clamped to [1, n]).
+  [[nodiscard]] bool within_eps(const Key& k, double phi, double eps) const;
+
+ private:
+  std::vector<Key> sorted_;
+};
+
+// Aggregate accuracy of per-node outputs against a quantile target.
+struct QuantileErrorSummary {
+  double max_abs_error = 0.0;     // max over nodes of |quantile_of(out)-phi|
+  double mean_abs_error = 0.0;
+  double frac_within_eps = 0.0;   // fraction of nodes inside the eps window
+  std::size_t nodes = 0;
+};
+
+[[nodiscard]] QuantileErrorSummary evaluate_outputs(
+    const RankScale& scale, std::span<const Key> outputs, double phi,
+    double eps);
+
+}  // namespace gq

@@ -1,0 +1,63 @@
+#include "analysis/recurrences.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gq {
+namespace {
+
+// Hard cap on schedule length; both recurrences converge doubly
+// exponentially so realistic schedules are < 60 iterations even for
+// astronomically small eps.  The cap turns a parameterization bug into a
+// loud failure instead of an unbounded loop.
+constexpr std::size_t kMaxIterations = 4096;
+
+}  // namespace
+
+TwoTournamentSchedule two_tournament_schedule(double h0, double eps) {
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must be in (0, 1/2)");
+  GQ_REQUIRE(h0 >= 0.0 && h0 <= 1.0, "h0 must be in [0,1]");
+  const double target = 0.5 - eps;
+
+  TwoTournamentSchedule s;
+  s.h.push_back(h0);
+  double h = h0;
+  // The epsilon guard absorbs FP noise in h0 (e.g. 1.0 - (phi + eps)
+  // landing a few ulps above the target when it should equal it).
+  while (h > target + 1e-12) {
+    GQ_REQUIRE(s.delta.size() < kMaxIterations,
+               "2-TOURNAMENT schedule did not converge");
+    const double next = h * h;
+    const double delta =
+        next >= target ? 1.0 : std::min(1.0, (h - target) / (h - next));
+    s.delta.push_back(delta);
+    // Expected tail after a delta-truncated iteration (Lemma 2.4):
+    // (1-delta)*h + delta*h^2; equals `next` when delta == 1 and `target`
+    // when truncated.
+    h = (1.0 - delta) * h + delta * next;
+    s.h.push_back(h);
+  }
+  return s;
+}
+
+ThreeTournamentSchedule three_tournament_schedule(double eps,
+                                                  std::uint32_t n) {
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must be in (0, 1/2)");
+  GQ_REQUIRE(n >= 2, "n must be at least 2");
+  const double target = std::pow(static_cast<double>(n), -1.0 / 3.0);
+
+  ThreeTournamentSchedule s;
+  double l = 0.5 - eps;
+  s.l.push_back(l);
+  while (l > target) {
+    GQ_REQUIRE(s.l.size() < kMaxIterations,
+               "3-TOURNAMENT schedule did not converge");
+    l = median_map(l);
+    s.l.push_back(l);
+  }
+  return s;
+}
+
+}  // namespace gq

@@ -1,0 +1,59 @@
+// The analytic recurrences driving the tournament algorithms.
+//
+// Algorithm 1 (2-TOURNAMENT) squares the high-side fraction each iteration:
+//   h_{i+1} = h_i^2,
+// stopping once h <= T = 1/2 - eps, with the last iteration executed only
+// with probability delta = (h_i - T)/(h_i - h_{i+1}) per node so that the
+// expected final fraction lands exactly on T (Lemma 2.4).
+//
+// Algorithm 2 (3-TOURNAMENT) applies the median-of-three map to both tails:
+//   l_{i+1} = 3 l_i^2 - 2 l_i^3,
+// stopping once l <= T = n^(-1/3) (Lemma 2.12).
+//
+// These schedules are *protocol state*: every node evaluates them locally
+// from (phi, eps, n), which is what lets the algorithm run without any
+// coordination.  They are also the analytic predictions that experiment E5
+// compares measured tail fractions against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gq {
+
+struct TwoTournamentSchedule {
+  // h[0..t]: analytic tail fraction before iteration i (h[t] = value after
+  // the final, possibly truncated, iteration).
+  std::vector<double> h;
+  // delta[i]: probability with which iteration i performs the 2-tournament
+  // (1.0 for all but possibly the final iteration).
+  std::vector<double> delta;
+
+  [[nodiscard]] std::size_t iterations() const noexcept {
+    return delta.size();
+  }
+};
+
+// Schedule for driving an initial tail fraction h0 down to T = 1/2 - eps.
+// h0 and eps must lie in [0,1); returns an empty schedule when h0 <= T.
+[[nodiscard]] TwoTournamentSchedule two_tournament_schedule(double h0,
+                                                            double eps);
+
+struct ThreeTournamentSchedule {
+  std::vector<double> l;  // l[0..t] analytic tail trajectory
+  [[nodiscard]] std::size_t iterations() const noexcept {
+    return l.empty() ? 0 : l.size() - 1;
+  }
+};
+
+// Schedule for driving both tails from 1/2 - eps down to T = n^(-1/3).
+[[nodiscard]] ThreeTournamentSchedule three_tournament_schedule(
+    double eps, std::uint32_t n);
+
+// One step of the median-of-three map 3x^2 - 2x^3.
+[[nodiscard]] constexpr double median_map(double x) noexcept {
+  return 3.0 * x * x - 2.0 * x * x * x;
+}
+
+}  // namespace gq

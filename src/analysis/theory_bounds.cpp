@@ -1,0 +1,51 @@
+#include "analysis/theory_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+double phase1_iteration_bound(double eps) {
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must be in (0, 1/2)");
+  return std::log(4.0 / eps) / std::log(7.0 / 4.0) + 2.0;
+}
+
+double phase2_iteration_bound(double eps, std::uint32_t n) {
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must be in (0, 1/2)");
+  GQ_REQUIRE(n >= 4, "n must be at least 4");
+  const double log4n = std::log(static_cast<double>(n)) / std::log(4.0);
+  return std::max(0.0, std::log(1.0 / (4.0 * eps)) / std::log(11.0 / 8.0)) +
+         std::log2(std::max(2.0, log4n));
+}
+
+double lower_bound_rounds(double eps, std::uint64_t n) {
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must be in (0, 1/2)");
+  GQ_REQUIRE(n >= 4, "n must be at least 4");
+  const double loglog = std::log2(std::log2(static_cast<double>(n)));
+  const double eps_term = std::log(8.0 / eps) / std::log(4.0);
+  return std::max(0.5 * loglog, eps_term);
+}
+
+double eps_tournament_floor(std::uint32_t n) {
+  GQ_REQUIRE(n >= 2, "n must be at least 2");
+  const double nn = static_cast<double>(n);
+  // Two regimes: the concentration of the tournament tails needs
+  // eps*n >> sqrt(n) fluctuations, and phase II's sampling tail needs
+  // eps >> n^(-1/3).  Take the larger, capped at 1/4 where the whole
+  // approximation notion degenerates.
+  const double floor_val =
+      std::max(2.0 * std::pow(nn, -1.0 / 3.0), 8.0 / nn);
+  return std::min(0.25, floor_val);
+}
+
+std::uint32_t robust_pull_count(double mu, double numerator) {
+  GQ_REQUIRE(mu >= 0.0 && mu < 1.0, "mu must be in [0,1)");
+  GQ_REQUIRE(numerator >= 1.0, "numerator must be >= 1");
+  const double base = numerator / (1.0 - mu);
+  const double k = base * std::log(std::max(std::exp(1.0), base)) + 1.0;
+  return static_cast<std::uint32_t>(std::ceil(k));
+}
+
+}  // namespace gq

@@ -1,0 +1,162 @@
+#include "baselines/doubling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sketch/compactor.hpp"
+#include "util/require.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+std::size_t target_sample_size(std::uint32_t n, double eps, double c) {
+  return static_cast<std::size_t>(
+      std::ceil(c * std::log(static_cast<double>(n)) / (eps * eps)));
+}
+
+Key buffer_quantile(std::vector<Key>& buf, double phi) {
+  GQ_REQUIRE(!buf.empty(), "quantile of an empty buffer");
+  std::sort(buf.begin(), buf.end());
+  auto rank = static_cast<std::size_t>(
+      std::ceil(phi * static_cast<double>(buf.size())));
+  rank = std::clamp<std::size_t>(rank, 1, buf.size());
+  return buf[rank - 1];
+}
+
+}  // namespace
+
+DoublingResult doubling_quantile_keys(Network& net, std::span<const Key> keys,
+                                      const DoublingParams& params) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
+             "eps must lie in (0, 1/2)");
+  GQ_REQUIRE(net.failures().never_fails(),
+             "the Appendix-A doubling algorithms assume the failure-free "
+             "model (the paper gives no robust variant)");
+
+  const std::size_t target =
+      target_sample_size(n, params.eps, params.sample_constant);
+  const std::uint64_t kb = key_bits(n);
+
+  DoublingResult out;
+  // Seeding round: S_v(0) = { x_{t0(v)} } for a uniformly random t0(v).
+  std::vector<std::vector<Key>> buf(n);
+  {
+    const std::vector<std::uint32_t> peers = net.pull_round(kb);
+    ++out.rounds;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t p =
+          peers[v] == Network::kNoPeer ? v : peers[v];  // failed: own value
+      buf[v].push_back(keys[p]);
+    }
+  }
+
+  // Doubling rounds: union with a random peer's buffer.
+  while (buf.front().size() < target) {
+    net.begin_round();
+    ++out.rounds;
+    std::vector<std::vector<Key>> next = buf;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      const std::uint32_t p = net.sample_peer(v, stream);
+      const std::uint64_t bits = buf[p].size() * kb;
+      net.record_message(bits);
+      if (bits > out.max_message_bits) out.max_message_bits = bits;
+      next[v].insert(next[v].end(), buf[p].begin(), buf[p].end());
+    }
+    buf = std::move(next);
+  }
+
+  out.final_buffer_size = buf.front().size();
+  out.outputs.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    out.outputs[v] = buffer_quantile(buf[v], params.phi);
+  }
+  return out;
+}
+
+DoublingResult doubling_quantile(Network& net, std::span<const double> values,
+                                 const DoublingParams& params) {
+  const std::vector<Key> keys = make_keys(values);
+  return doubling_quantile_keys(net, keys, params);
+}
+
+DoublingResult compaction_quantile_keys(Network& net,
+                                        std::span<const Key> keys,
+                                        const CompactionParams& params) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
+             "eps must lie in (0, 1/2)");
+  GQ_REQUIRE(net.failures().never_fails(),
+             "the Appendix-A doubling algorithms assume the failure-free "
+             "model (the paper gives no robust variant)");
+
+  const std::size_t target =
+      target_sample_size(n, params.eps, params.sample_constant);
+  const double loglog =
+      std::log2(std::max(2.0, std::log2(static_cast<double>(n))));
+  std::size_t capacity = static_cast<std::size_t>(
+      std::ceil(params.capacity_constant / params.eps *
+                (loglog + std::log2(1.0 / params.eps))));
+  capacity = std::max<std::size_t>(8, capacity + (capacity & 1));  // even
+  const std::uint64_t kb = key_bits(n);
+
+  DoublingResult out;
+  std::vector<CompactingBuffer> buf(n, CompactingBuffer(capacity));
+  {
+    const std::vector<std::uint32_t> peers = net.pull_round(kb);
+    ++out.rounds;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t p =
+          peers[v] == Network::kNoPeer ? v : peers[v];
+      buf[v].add(keys[p]);
+    }
+  }
+
+  // Represented mass doubles per round until the buffers summarize `target`
+  // samples (all buffers stay in lockstep: same weight, same mass).
+  while (buf.front().total_weight() < target) {
+    net.begin_round();
+    ++out.rounds;
+    std::vector<CompactingBuffer> next = buf;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      const std::uint32_t p = net.sample_peer(v, stream);
+      const std::uint64_t bits = buf[p].size() * kb;
+      net.record_message(bits);
+      if (bits > out.max_message_bits) out.max_message_bits = bits;
+      const bool keep_odd = rand_bernoulli(stream, 0.5);
+      next[v] = CompactingBuffer::merged(buf[v], buf[p], keep_odd);
+    }
+    buf = std::move(next);
+  }
+
+  out.final_buffer_size = buf.front().size();
+  out.outputs.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    out.outputs[v] = buf[v].quantile(params.phi);
+  }
+  return out;
+}
+
+DoublingResult compaction_quantile(Network& net,
+                                   std::span<const double> values,
+                                   const CompactionParams& params) {
+  const std::vector<Key> keys = make_keys(values);
+  return compaction_quantile_keys(net, keys, params);
+}
+
+}  // namespace gq

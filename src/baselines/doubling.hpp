@@ -1,0 +1,62 @@
+// The Appendix-A doubling algorithms.
+//
+// Plain doubling (Lemma A.2): each node seeds a buffer with one random
+// value, then every round unions its buffer with a random peer's.  Buffer
+// size doubles per round, so Theta(log(log n / eps^2)) rounds build an
+// Omega(log n / eps^2)-sample — but messages grow to
+// Theta(log^2 n / eps^2) bits.
+//
+// Compaction doubling (Appendix A.1, Theorem A.6): same protocol but the
+// buffer is a CompactingBuffer of capacity k = Theta((1/eps)(log log n +
+// log 1/eps)); every merge that overflows compacts, doubling item weights.
+// Messages shrink to O(k log n) bits at the cost of a bounded additional
+// rank error (Corollary A.4).
+#pragma once
+
+#include <span>
+
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct DoublingParams {
+  double phi = 0.5;
+  double eps = 0.1;
+  // Target sample size |S| = ceil(c * ln(n) / eps^2).
+  double sample_constant = 3.0;
+};
+
+struct DoublingResult {
+  std::vector<Key> outputs;
+  std::uint64_t rounds = 0;
+  std::size_t final_buffer_size = 0;      // keys stored per node at the end
+  std::uint64_t max_message_bits = 0;     // largest message shipped
+};
+
+// Plain doubling.  Memory warning: every node stores the full sample, so
+// total memory is n * target keys; keep n moderate.
+[[nodiscard]] DoublingResult doubling_quantile(Network& net,
+                                               std::span<const double> values,
+                                               const DoublingParams& params);
+
+[[nodiscard]] DoublingResult doubling_quantile_keys(
+    Network& net, std::span<const Key> keys, const DoublingParams& params);
+
+struct CompactionParams {
+  double phi = 0.5;
+  double eps = 0.1;
+  double sample_constant = 3.0;  // same target sample size as doubling
+  // Buffer capacity multiplier: capacity = ceil(c_k / eps *
+  // (log2 log2 n + log2(1/eps))), forced even and >= 8.
+  double capacity_constant = 4.0;
+};
+
+[[nodiscard]] DoublingResult compaction_quantile(
+    Network& net, std::span<const double> values,
+    const CompactionParams& params);
+
+[[nodiscard]] DoublingResult compaction_quantile_keys(
+    Network& net, std::span<const Key> keys, const CompactionParams& params);
+
+}  // namespace gq

@@ -1,0 +1,75 @@
+#include "baselines/frugal.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+FrugalResult frugal_quantile(Network& net, std::span<const double> values,
+                             const FrugalParams& params) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(values.size() == n, "one value per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(params.step >= 0.0, "step must be non-negative");
+
+  std::uint64_t rounds = params.rounds;
+  if (rounds == 0) {
+    rounds = 32 * static_cast<std::uint64_t>(
+                      std::bit_width(static_cast<std::uint64_t>(n) - 1));
+  }
+  const std::uint64_t bits = 64;  // one value per message
+
+  FrugalResult out;
+  out.rounds = rounds;
+  std::vector<double> est(values.begin(), values.end());
+  std::vector<double> step(n, params.step);
+  // Warm-up phase for automatic step sizing: 8 rounds of sampling to
+  // estimate the value range per node.
+  std::vector<double> lo(values.begin(), values.end());
+  std::vector<double> hi(values.begin(), values.end());
+  std::uint64_t warmup = params.step > 0.0 ? 0 : std::min<std::uint64_t>(8, rounds);
+  for (std::uint64_t r = 0; r < warmup; ++r) {
+    net.begin_round();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      const double x = values[net.sample_peer(v, stream)];
+      net.record_message(bits);
+      lo[v] = std::min(lo[v], x);
+      hi[v] = std::max(hi[v], x);
+    }
+  }
+  if (params.step == 0.0) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      step[v] = std::max((hi[v] - lo[v]) / 256.0, 1e-12);
+    }
+  }
+
+  for (std::uint64_t r = warmup; r < rounds; ++r) {
+    net.begin_round();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      const double x = values[net.sample_peer(v, stream)];
+      net.record_message(bits);
+      // Frugal-1U: move towards the sample with quantile-biased coins.
+      if (x > est[v]) {
+        if (rand_bernoulli(stream, params.phi)) est[v] += step[v];
+      } else if (x < est[v]) {
+        if (rand_bernoulli(stream, 1.0 - params.phi)) est[v] -= step[v];
+      }
+    }
+  }
+  out.estimates = std::move(est);
+  return out;
+}
+
+}  // namespace gq

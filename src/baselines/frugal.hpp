@@ -1,0 +1,39 @@
+// A gossip adaptation of Frugal-1U streaming quantile estimation
+// (Ma-Muthukrishnan-Sandler, cited in the paper's related work): every node
+// keeps one scalar estimate and nudges it by a fixed step when a sampled
+// value lies above/below it, with probabilities phi / (1-phi).
+//
+// O(1) state and O(log n)-bit messages — but the random walk needs
+// Omega(range/step + 1/eps^2) samples to settle, so it is round-expensive
+// and offers no w.h.p. guarantee.  Included as the "minimal state" corner
+// of the design space bench_dynamics maps.
+#pragma once
+
+#include <span>
+
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct FrugalParams {
+  double phi = 0.5;
+  // Rounds of sampling; 0 = 32 * log2(n) (heuristic: enough for the walk
+  // to mix on moderate ranges).
+  std::uint64_t rounds = 0;
+  // Step size; 0 = (max - min) / 256 estimated from the node's first
+  // samples (a deployment would configure this from domain knowledge).
+  double step = 0.0;
+};
+
+struct FrugalResult {
+  // Per-node scalar estimates — unlike the paper's algorithms these are
+  // NOT necessarily input values.
+  std::vector<double> estimates;
+  std::uint64_t rounds = 0;
+};
+
+[[nodiscard]] FrugalResult frugal_quantile(Network& net,
+                                           std::span<const double> values,
+                                           const FrugalParams& params);
+
+}  // namespace gq

@@ -1,0 +1,61 @@
+#include "baselines/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+
+SamplingResult sampling_quantile_keys(Network& net, std::span<const Key> keys,
+                                      const SamplingParams& params) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
+             "eps must lie in (0, 1/2)");
+
+  const auto z = static_cast<std::size_t>(
+      std::ceil(params.sample_constant * std::log(static_cast<double>(n)) /
+                (params.eps * params.eps)));
+  const std::uint64_t bits = key_bits(n);
+
+  SamplingResult out;
+  out.sample_size = z;
+  std::vector<std::vector<Key>> samples(n);
+  for (auto& s : samples) s.reserve(z);
+  for (std::size_t r = 0; r < z; ++r) {
+    net.begin_round();
+    ++out.rounds;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      samples[v].push_back(keys[net.sample_peer(v, stream)]);
+      net.record_message(bits);
+    }
+  }
+
+  out.outputs.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    auto& s = samples[v];
+    GQ_REQUIRE(!s.empty(), "a node collected no samples (all rounds failed)");
+    std::sort(s.begin(), s.end());
+    auto rank = static_cast<std::size_t>(
+        std::ceil(params.phi * static_cast<double>(s.size())));
+    rank = std::clamp<std::size_t>(rank, 1, s.size());
+    out.outputs[v] = s[rank - 1];
+  }
+  return out;
+}
+
+SamplingResult sampling_quantile(Network& net, std::span<const double> values,
+                                 const SamplingParams& params) {
+  const std::vector<Key> keys = make_keys(values);
+  return sampling_quantile_keys(net, keys, params);
+}
+
+}  // namespace gq

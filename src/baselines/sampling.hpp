@@ -1,0 +1,35 @@
+// Direct-sampling baseline (paper Section 1 / Appendix A, Lemma A.1): each
+// node pulls one uniformly random value per round for Theta(log n / eps^2)
+// rounds and answers with the empirical phi-quantile of its sample.
+// Simple, O(log n)-bit messages, but quadratically slower in 1/eps than
+// the tournament pipeline.
+#pragma once
+
+#include <span>
+
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct SamplingParams {
+  double phi = 0.5;
+  double eps = 0.1;
+  // Sample size multiplier c in |S| = ceil(c * ln(n) / eps^2).
+  double sample_constant = 3.0;
+};
+
+struct SamplingResult {
+  std::vector<Key> outputs;       // per-node empirical quantile
+  std::uint64_t rounds = 0;       // == per-node sample size
+  std::size_t sample_size = 0;
+};
+
+[[nodiscard]] SamplingResult sampling_quantile(Network& net,
+                                               std::span<const double> values,
+                                               const SamplingParams& params);
+
+[[nodiscard]] SamplingResult sampling_quantile_keys(
+    Network& net, std::span<const Key> keys, const SamplingParams& params);
+
+}  // namespace gq

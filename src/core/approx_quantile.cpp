@@ -1,0 +1,82 @@
+#include "core/approx_quantile.hpp"
+
+#include <algorithm>
+
+#include "analysis/theory_bounds.hpp"
+#include "core/exact_quantile.hpp"
+#include "core/robust.hpp"
+#include "core/three_tournament.hpp"
+#include "core/two_tournament.hpp"
+#include "util/require.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+
+ApproxQuantileResult approx_quantile_keys(Network& net,
+                                          std::span<const Key> keys,
+                                          const ApproxQuantileParams& params) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
+             "eps must lie in (0, 1/2)");
+
+  const Metrics before = net.metrics();
+
+  if (params.eps < eps_tournament_floor(n) && !params.force_tournament) {
+    // Theorem 1.2 bootstrap: for eps below the sampling floor the exact
+    // algorithm is both correct and within the advertised round bound.
+    ExactQuantileParams ep;
+    ep.phi = params.phi;
+    const ExactQuantileResult er = exact_quantile_keys(net, keys, ep);
+    ApproxQuantileResult out;
+    out.outputs = er.outputs;
+    out.valid = er.valid;
+    out.rounds = net.metrics().rounds - before.rounds;
+    out.used_exact_fallback = true;
+    return out;
+  }
+
+  ApproxQuantileResult out;
+  std::vector<Key> state(keys.begin(), keys.end());
+  // Phase II approximates the median of the Phase-I configuration to eps/4:
+  // by Lemma 2.11 every quantile in [1/2 - eps/4, 1/2 + eps/4] of that
+  // configuration lies in the original [phi - eps, phi + eps] window.
+  const double phase2_eps = params.eps / 4.0;
+
+  if (net.failures().never_fails()) {
+    const TwoTournamentOutcome p1 =
+        two_tournament(net, state, params.phi, params.eps,
+                       params.truncate_last);
+    const ThreeTournamentOutcome p2 = three_tournament(
+        net, state, phase2_eps, params.final_sample_size);
+    out.phase1_iterations = p1.iterations;
+    out.phase2_iterations = p2.iterations;
+    out.outputs = p2.outputs;
+    out.valid.assign(n, true);
+  } else {
+    std::vector<bool> good(n, true);
+    const RobustTwoTournamentOutcome p1 = robust_two_tournament(
+        net, state, good, params.phi, params.eps, params.truncate_last);
+    RobustThreeTournamentOutcome p2 = robust_three_tournament(
+        net, state, good, phase2_eps, params.final_sample_size);
+    out.phase1_iterations = p1.iterations;
+    out.phase2_iterations = p2.iterations;
+    robust_coverage(net, p2.outputs, p2.valid,
+                    params.robust_coverage_rounds);
+    out.outputs = std::move(p2.outputs);
+    out.valid = std::move(p2.valid);
+  }
+
+  out.rounds = net.metrics().rounds - before.rounds;
+  return out;
+}
+
+ApproxQuantileResult approx_quantile(Network& net,
+                                     std::span<const double> values,
+                                     const ApproxQuantileParams& params) {
+  const std::vector<Key> keys = make_keys(values);
+  return approx_quantile_keys(net, keys, params);
+}
+
+}  // namespace gq

@@ -1,0 +1,51 @@
+#include "core/lower_bound.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+InformationSpreadResult simulate_information_spread(
+    Network& net, const std::vector<bool>& informative,
+    std::uint64_t max_rounds) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(informative.size() == n, "one flag per node required");
+  GQ_REQUIRE(std::any_of(informative.begin(), informative.end(),
+                         [](bool b) { return b; }),
+             "at least one node must start informed");
+  if (max_rounds == 0) {
+    const auto log2n = static_cast<std::uint64_t>(
+        std::bit_width(static_cast<std::uint64_t>(n) - 1));
+    max_rounds = 4 * log2n + 60;
+  }
+
+  std::vector<bool> informed = informative;
+  InformationSpreadResult out;
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    net.begin_round();
+    std::vector<bool> next = informed;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      SplitMix64 stream = net.node_stream(v);
+      // Generous model: one pull and one push per node per round.
+      const std::uint32_t pull_peer = net.sample_peer(v, stream);
+      const std::uint32_t push_peer = net.sample_peer(v, stream);
+      if (informed[pull_peer]) next[v] = true;
+      if (informed[v]) next[push_peer] = true;
+      net.record_messages(2, 64);
+    }
+    informed = std::move(next);
+    const auto count = static_cast<std::uint64_t>(
+        std::count(informed.begin(), informed.end(), true));
+    out.informed_counts.push_back(count);
+    if (count == n) {
+      out.rounds_to_all = r + 1;
+      out.completed = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gq

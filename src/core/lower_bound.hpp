@@ -1,0 +1,31 @@
+// The Theorem 1.3 information-spreading process.
+//
+// In the lower-bound argument only the nodes holding a value from the
+// distinguishing set S can tell the two adversarial scenarios apart; a node
+// can answer an eps-approximate quantile query only after (transitively)
+// hearing from S.  This module simulates the most GENEROUS spreading of
+// that knowledge — every node both pushes and pulls every round, messages
+// unbounded — so the measured rounds-to-inform-everyone is a certified
+// lower bound on any gossip algorithm's round count for the instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct InformationSpreadResult {
+  // informed_counts[r] = number of informed nodes after round r+1.
+  std::vector<std::uint64_t> informed_counts;
+  std::uint64_t rounds_to_all = 0;  // rounds until every node is informed
+  bool completed = false;
+};
+
+// `informative[v]` marks the nodes initially holding a value from S.
+[[nodiscard]] InformationSpreadResult simulate_information_spread(
+    Network& net, const std::vector<bool>& informative,
+    std::uint64_t max_rounds = 0);
+
+}  // namespace gq

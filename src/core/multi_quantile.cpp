@@ -1,0 +1,31 @@
+#include "core/multi_quantile.hpp"
+
+#include "util/require.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+
+MultiQuantileResult multi_quantile(Network& net,
+                                   std::span<const double> values,
+                                   const MultiQuantileParams& params) {
+  GQ_REQUIRE(!params.phis.empty(), "at least one quantile target required");
+  for (double phi : params.phis) {
+    GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
+  }
+  const std::vector<Key> keys = make_keys(values);
+
+  MultiQuantileResult out;
+  out.per_phi.reserve(params.phis.size());
+  ApproxQuantileParams ap;
+  ap.eps = params.eps;
+  ap.final_sample_size = params.final_sample_size;
+  ap.robust_coverage_rounds = params.robust_coverage_rounds;
+  for (const double phi : params.phis) {
+    ap.phi = phi;
+    out.per_phi.push_back(approx_quantile_keys(net, keys, ap));
+    out.rounds += out.per_phi.back().rounds;
+  }
+  return out;
+}
+
+}  // namespace gq

@@ -1,0 +1,39 @@
+// Batch quantile queries: several phi targets over the same input, the
+// building block behind Corollary 1.5 and the common "p50/p95/p99" use.
+//
+// Runs are composed sequentially (the model sends one message per node per
+// round), so rounds add up; the result records per-target outputs plus the
+// aggregate cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/approx_quantile.hpp"
+#include "core/params.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct MultiQuantileParams {
+  std::vector<double> phis;  // targets, each in [0,1]
+  double eps = 0.1;
+  std::uint32_t final_sample_size = 15;
+  std::uint32_t robust_coverage_rounds = 12;
+};
+
+struct MultiQuantileResult {
+  std::vector<ApproxQuantileResult> per_phi;  // aligned with params.phis
+  std::uint64_t rounds = 0;                   // total across all targets
+
+  // Convenience: node v's output value for target i.
+  [[nodiscard]] double value(std::size_t i, std::uint32_t node) const {
+    return per_phi.at(i).outputs.at(node).value;
+  }
+};
+
+[[nodiscard]] MultiQuantileResult multi_quantile(
+    Network& net, std::span<const double> values,
+    const MultiQuantileParams& params);
+
+}  // namespace gq

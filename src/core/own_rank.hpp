@@ -1,0 +1,23 @@
+// Corollary 1.5: every node estimates the quantile of ITS OWN value up to
+// an additive eps.
+//
+// The library runs approximate quantile computations on the grid
+// phi_j = j * (eps/2) with slack eps/4; node v then counts how many of its
+// own outputs lie below its value.  Each output's true quantile is within
+// eps/4 + (ties) of its grid point, so the count pins v's quantile to an
+// eps-window.  Total cost: (2/eps - 1) * O(log log n + log 1/eps) rounds.
+#pragma once
+
+#include <span>
+
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+[[nodiscard]] OwnRankResult own_rank(Network& net,
+                                     std::span<const double> values,
+                                     const OwnRankParams& params);
+
+}  // namespace gq

@@ -1,0 +1,28 @@
+// Uniform pivot sampling: agree, network-wide, on one uniformly random key
+// among the candidate nodes.  The standard gossip trick: every candidate
+// draws a random priority and the (priority, key) pair with the maximum
+// priority is spread to all nodes in O(log n) rounds.  Used by the
+// selection endgame of the exact algorithm and by the KDG03 baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct PivotSample {
+  Key pivot = Key::infinite();
+  std::uint64_t rounds = 0;
+  bool found = false;  // false iff no candidate participated
+};
+
+// candidate[v] marks whether node v's key inst[v] competes.
+[[nodiscard]] PivotSample sample_uniform_candidate(
+    Network& net, std::span<const Key> inst,
+    const std::vector<bool>& candidate);
+
+}  // namespace gq

@@ -1,0 +1,48 @@
+// Result structs for the quantile protocols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "sim/metrics.hpp"
+
+namespace gq {
+
+struct ApproxQuantileResult {
+  // outputs[v]: the key node v settles on.  Under the failure model a node
+  // can end the protocol without an answer; valid[v] marks served nodes
+  // (always all-true in the failure-free model).
+  std::vector<Key> outputs;
+  std::vector<bool> valid;
+
+  std::size_t phase1_iterations = 0;  // 2-TOURNAMENT iterations executed
+  std::size_t phase2_iterations = 0;  // 3-TOURNAMENT iterations executed
+  std::uint64_t rounds = 0;           // total gossip rounds consumed
+  bool used_exact_fallback = false;   // eps below floor: exact pipeline ran
+
+  [[nodiscard]] std::size_t served_nodes() const {
+    std::size_t c = 0;
+    for (bool b : valid) c += b ? 1 : 0;
+    return c;
+  }
+};
+
+struct ExactQuantileResult {
+  Key answer;                 // the exact phi-quantile of the input
+  std::vector<Key> outputs;   // per-node copy of the answer
+  std::vector<bool> valid;    // nodes that learned the answer
+  std::uint64_t rounds = 0;   // total gossip rounds consumed
+  std::size_t iterations = 0; // bracketing iterations executed
+  std::size_t endgame_phases = 0;  // selection phases after bracketing
+};
+
+struct OwnRankResult {
+  // estimates[v]: node v's estimate of its own quantile rank(x_v)/n.
+  std::vector<double> estimates;
+  std::vector<bool> valid;
+  std::uint64_t rounds = 0;
+  std::size_t quantile_runs = 0;  // number of approx-quantile invocations
+};
+
+}  // namespace gq

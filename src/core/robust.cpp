@@ -1,0 +1,197 @@
+#include "core/robust.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "analysis/recurrences.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "util/require.hpp"
+
+namespace gq {
+namespace {
+
+const Key& median3(const Key& a, const Key& b, const Key& c) {
+  if (a < b) {
+    if (b < c) return b;
+    return a < c ? c : a;
+  }
+  if (a < c) return a;
+  return b < c ? c : b;
+}
+
+// One robust iteration: `pulls` rounds in which every node attempts one
+// pull; good_samples[v] collects up to `needed` values pulled from
+// currently-good nodes (reading the iteration-start snapshot).
+// Returns, per node, the number of good pulls collected (capped at needed).
+std::vector<std::uint32_t> collect_good_pulls(
+    Network& net, std::span<const Key> snapshot,
+    const std::vector<bool>& good, std::uint32_t pulls, std::uint32_t needed,
+    std::vector<std::vector<Key>>& good_samples) {
+  const std::uint32_t n = net.size();
+  const std::uint64_t bits = key_bits(n);
+  for (auto& s : good_samples) s.clear();
+  std::vector<std::uint32_t> count(n, 0);
+  for (std::uint32_t r = 0; r < pulls; ++r) {
+    net.begin_round();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      const std::uint32_t p = net.sample_peer(v, stream);
+      net.record_message(bits);
+      if (good[p] && count[v] < needed) {
+        good_samples[v].push_back(snapshot[p]);
+        ++count[v];
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+RobustTwoTournamentOutcome robust_two_tournament(Network& net,
+                                                 std::vector<Key>& state,
+                                                 std::vector<bool>& good,
+                                                 double phi, double eps,
+                                                 bool truncate_last) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(state.size() == n && good.size() == n,
+             "state and good flags must have one entry per node");
+  GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
+
+  RobustTwoTournamentOutcome out;
+  const double mu = net.failures().max_probability();
+  out.pulls_per_iteration = robust_pull_count(mu, 4.0);
+  const auto [side, start] = tournament_side(phi, eps);
+  out.side = side;
+  const bool suppress_high = side == TournamentSide::kSuppressHigh;
+  const TwoTournamentSchedule schedule = two_tournament_schedule(start, eps);
+
+  std::vector<Key> snapshot(n);
+  std::vector<bool> next_good(n);
+  std::vector<std::vector<Key>> samples(n);
+  for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    const double delta = truncate_last ? schedule.delta[iter] : 1.0;
+    snapshot = state;
+    const std::vector<std::uint32_t> got =
+        collect_good_pulls(net, snapshot, good, out.pulls_per_iteration,
+                           /*needed=*/2, samples);
+    // The delta coin is drawn once per node per iteration; use a dedicated
+    // round so its randomness is independent of the pulls.
+    net.begin_round();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!good[v] || got[v] < 2) {
+        next_good[v] = false;
+        continue;
+      }
+      next_good[v] = true;
+      SplitMix64 stream = net.node_stream(v);
+      const bool tournament = delta >= 1.0 || rand_bernoulli(stream, delta);
+      if (tournament) {
+        const Key& a = samples[v][0];
+        const Key& b = samples[v][1];
+        state[v] = suppress_high ? std::min(a, b) : std::max(a, b);
+      } else {
+        state[v] = samples[v][0];
+      }
+    }
+    good = next_good;
+    ++out.iterations;
+  }
+  return out;
+}
+
+RobustThreeTournamentOutcome robust_three_tournament(
+    Network& net, std::vector<Key>& state, std::vector<bool>& good,
+    double eps, std::uint32_t final_sample_size) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(state.size() == n && good.size() == n,
+             "state and good flags must have one entry per node");
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
+
+  RobustThreeTournamentOutcome out;
+  const double mu = net.failures().max_probability();
+  out.pulls_per_iteration = robust_pull_count(mu, 6.0);
+  const ThreeTournamentSchedule schedule = three_tournament_schedule(eps, n);
+  const std::uint32_t k_samples = (final_sample_size | 1u);
+
+  std::vector<Key> snapshot(n);
+  std::vector<bool> next_good(n);
+  std::vector<std::vector<Key>> samples(n);
+  for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    snapshot = state;
+    const std::vector<std::uint32_t> got =
+        collect_good_pulls(net, snapshot, good, out.pulls_per_iteration,
+                           /*needed=*/3, samples);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!good[v] || got[v] < 3) {
+        next_good[v] = false;
+        continue;
+      }
+      next_good[v] = true;
+      state[v] = median3(samples[v][0], samples[v][1], samples[v][2]);
+    }
+    good = next_good;
+    ++out.iterations;
+  }
+
+  // Robust final step: collect K good pulls out of Theta(K/(1-mu) log ...)
+  // attempts and output their median.
+  const std::uint32_t final_pulls =
+      robust_pull_count(mu, 2.0 * static_cast<double>(k_samples));
+  snapshot = state;
+  const std::vector<std::uint32_t> got = collect_good_pulls(
+      net, snapshot, good, final_pulls, k_samples, samples);
+  out.outputs.assign(n, Key::infinite());
+  out.valid.assign(n, false);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!good[v] || got[v] < k_samples) continue;
+    auto& s = samples[v];
+    const auto mid = s.begin() + s.size() / 2;
+    std::nth_element(s.begin(), mid, s.end());
+    out.outputs[v] = *mid;
+    out.valid[v] = true;
+  }
+  return out;
+}
+
+std::uint64_t robust_coverage(Network& net, std::vector<Key>& outputs,
+                              std::vector<bool>& valid, std::uint32_t t) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(outputs.size() == n && valid.size() == n,
+             "outputs and valid flags must have one entry per node");
+  const std::uint64_t bits = key_bits(n);
+  std::uint64_t rounds = 0;
+  for (std::uint32_t r = 0; r < t; ++r) {
+    // Early exit once everyone is served keeps reported costs honest: a
+    // deployed node would simply stop asking.
+    if (std::all_of(valid.begin(), valid.end(), [](bool b) { return b; })) {
+      break;
+    }
+    net.begin_round();
+    ++rounds;
+    std::vector<bool> was_valid = valid;
+    std::vector<Key> prev = outputs;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (was_valid[v]) continue;
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      const std::uint32_t p = net.sample_peer(v, stream);
+      net.record_message(bits);
+      if (was_valid[p]) {
+        outputs[v] = prev[p];
+        valid[v] = true;
+      }
+    }
+  }
+  return rounds;
+}
+
+}  // namespace gq

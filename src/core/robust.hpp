@@ -1,0 +1,60 @@
+// Section 5.1: failure-robust tournament variants.
+//
+// Under the failure model every node pulls k = Theta(1/(1-mu) log 1/(1-mu))
+// times per iteration instead of 2 (resp. 3).  A pull is *good* if the
+// puller's operation succeeded and the contacted node was good at the end of
+// the previous iteration.  A node stays good if it collected enough good
+// pulls, in which case it runs the tournament on the first of them;
+// otherwise it turns (permanently) bad.  Lemma 5.2 shows a constant fraction
+// of nodes stays good throughout, and conditioned on being good, pulls are
+// uniform over the good set — so the failure-free analysis carries over with
+// n replaced by the good-node count.
+//
+// After the final step, nodes without an output pull for t extra rounds and
+// adopt any answer they see: all but ~n/2^t nodes end up served
+// (Theorem 1.4's caveat, which the paper shows is unavoidable).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/three_tournament.hpp"
+#include "core/two_tournament.hpp"
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct RobustTwoTournamentOutcome {
+  std::size_t iterations = 0;
+  TournamentSide side = TournamentSide::kSuppressHigh;
+  std::uint32_t pulls_per_iteration = 0;
+};
+
+// Robust Algorithm 1.  `good` is the per-node good flag, carried across
+// phases (pass all-true initially); bad nodes keep a stale value and are
+// never counted as good peers again.
+RobustTwoTournamentOutcome robust_two_tournament(Network& net,
+                                                 std::vector<Key>& state,
+                                                 std::vector<bool>& good,
+                                                 double phi, double eps,
+                                                 bool truncate_last = true);
+
+struct RobustThreeTournamentOutcome {
+  std::size_t iterations = 0;
+  std::uint32_t pulls_per_iteration = 0;
+  std::vector<Key> outputs;      // per-node answer (meaningful iff valid)
+  std::vector<bool> valid;       // nodes that produced an output
+};
+
+// Robust Algorithm 2, including the robust final sampling step.
+RobustThreeTournamentOutcome robust_three_tournament(
+    Network& net, std::vector<Key>& state, std::vector<bool>& good,
+    double eps, std::uint32_t final_sample_size = 15);
+
+// Coverage tail: for `t` rounds every unserved node pulls and adopts the
+// output of any served node it reaches.  Returns rounds consumed.
+std::uint64_t robust_coverage(Network& net, std::vector<Key>& outputs,
+                              std::vector<bool>& valid, std::uint32_t t);
+
+}  // namespace gq

@@ -1,0 +1,42 @@
+// Token split-and-distribute (Algorithm 3, Step 7; robust version in
+// Section 5.2).
+//
+// Every valued node mints one token (key, weight = multiplier) with
+// multiplier a power of two.  Phase A repeatedly halves tokens: a node
+// splits one weight->2 token per round and pushes one half to a random
+// node; a failed push merges the halves back (Section 5.2), so the
+// potential sum(w^2) shrinks geometrically in expectation regardless of the
+// failure probability.  Phase B scatters: a node holding several weight-1
+// tokens pushes the extras to random nodes each round until every node
+// holds at most one.  Both phases finish in O(log n) rounds w.h.p. because
+// the token count never exceeds n/2 (enforced by the caller's multiplier).
+//
+// The surviving assignment becomes the next instance: a node holding a
+// token adopts the token's (value, id) under a fresh duplication tag;
+// everyone else becomes valueless.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+struct TokenSplitResult {
+  std::vector<Key> instance;   // new per-node instance (infinite = valueless)
+  std::uint64_t rounds = 0;    // rounds consumed
+  std::uint64_t token_count = 0;
+};
+
+// Duplicates every finite key in `inst` into `multiplier` copies scattered
+// onto distinct nodes.  Requires multiplier to be a power of two and
+// multiplier * #finite <= n/2 (so scattering terminates quickly).
+// `tag_base` must leave the low 32 bits free for per-node uniqueness.
+[[nodiscard]] TokenSplitResult token_split_distribute(
+    Network& net, std::span<const Key> inst, std::uint64_t multiplier,
+    std::uint64_t tag_base);
+
+}  // namespace gq

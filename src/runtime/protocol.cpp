@@ -1,0 +1,82 @@
+#include "runtime/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+RuntimeResult run_protocols(Network& net,
+                            std::span<std::unique_ptr<NodeProtocol>> nodes,
+                            std::uint64_t max_rounds,
+                            std::uint64_t bits_per_message) {
+  const std::uint32_t n = net.size();
+  GQ_REQUIRE(nodes.size() == n, "one protocol instance per node required");
+  for (const auto& p : nodes) {
+    GQ_REQUIRE(p != nullptr, "protocol instances must not be null");
+  }
+
+  RuntimeResult out;
+  std::vector<Key> payloads(n);
+  const auto all_finished = [&] {
+    return std::all_of(nodes.begin(), nodes.end(),
+                       [](const auto& p) { return p->finished(); });
+  };
+
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    if (all_finished()) {
+      out.all_finished = true;
+      return out;
+    }
+    const std::uint64_t round = net.begin_round();
+    ++out.rounds;
+    // Round-start snapshot of every node's exposed payload.
+    for (std::uint32_t v = 0; v < n; ++v) payloads[v] = nodes[v]->exposed();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!nodes[v]->wants_pull(round)) continue;
+      if (net.node_fails(v)) {
+        net.record_failed_operation();
+        continue;
+      }
+      SplitMix64 stream = net.node_stream(v);
+      const std::uint32_t peer = net.sample_peer(v, stream);
+      net.record_message(bits_per_message);
+      nodes[v]->deliver(round, payloads[peer]);
+    }
+    for (std::uint32_t v = 0; v < n; ++v) nodes[v]->finish_round(round);
+  }
+  out.all_finished = all_finished();
+  return out;
+}
+
+void MedianDynamicsProtocol::deliver(std::uint64_t, const Key& payload) {
+  if (phase_ == 0) {
+    sample_a_ = payload;
+    have_a_ = true;
+  } else {
+    sample_b_ = payload;
+    have_b_ = true;
+  }
+}
+
+void MedianDynamicsProtocol::finish_round(std::uint64_t) {
+  if (finished()) return;
+  if (phase_ == 0) {
+    phase_ = 1;
+    return;
+  }
+  // Second round of the iteration: commit.  Both samples must have
+  // arrived; a failed pull forfeits the iteration's update (the same rule
+  // as the monolithic median_rule driver).
+  if (have_a_ && have_b_) {
+    const Key& a = sample_a_;
+    const Key& b = sample_b_;
+    const Key& c = state_;
+    state_ = std::min(std::max(a, b), std::max(std::min(a, b), c));
+  }
+  have_a_ = have_b_ = false;
+  phase_ = 0;
+  ++completed_;
+}
+
+}  // namespace gq

@@ -1,0 +1,90 @@
+// The deployable embedding of the gossip algorithms: per-node state
+// machines driven by a synchronous runtime.
+//
+// The algorithm modules in core/ drive the Network directly — convenient
+// for experiments, but a real system embeds a protocol per node.  This
+// layer defines that boundary: a NodeProtocol exposes a payload, optionally
+// pulls one peer per round, and updates at round boundaries.  The Runtime
+// snapshots all exposed payloads at the start of each round (the paper's
+// synchronous semantics) and delivers pulls with the Network's randomness,
+// failure model and traffic accounting, so behaviour and costs match the
+// monolithic drivers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+class NodeProtocol {
+ public:
+  virtual ~NodeProtocol() = default;
+
+  // Payload other nodes receive when they pull from this node this round.
+  // The runtime reads it once at the start of every round.
+  [[nodiscard]] virtual Key exposed() const = 0;
+
+  // Whether this node attempts a pull this round.
+  [[nodiscard]] virtual bool wants_pull(std::uint64_t round) const = 0;
+
+  // Pull result delivery; called only when the operation succeeded.
+  virtual void deliver(std::uint64_t round, const Key& payload) = 0;
+
+  // Round boundary: commit state updates.
+  virtual void finish_round(std::uint64_t round) = 0;
+
+  // Local termination flag (e.g. schedule exhausted).
+  [[nodiscard]] virtual bool finished() const = 0;
+};
+
+struct RuntimeResult {
+  std::uint64_t rounds = 0;
+  bool all_finished = false;
+};
+
+// Drives one protocol instance per node until all report finished() or
+// `max_rounds` elapse.  `bits_per_message` is the accounted payload size
+// (use KeyCodec(n).encoded_bits() for the exact wire size).
+RuntimeResult run_protocols(Network& net,
+                            std::span<std::unique_ptr<NodeProtocol>> nodes,
+                            std::uint64_t max_rounds,
+                            std::uint64_t bits_per_message);
+
+// Reference protocol: the [DGM+11] median dynamics as a per-node state
+// machine — each iteration spans two rounds collecting two samples, then
+// the node adopts median(own, a, b).  Behaviourally the protocol form of
+// baselines/median_rule.
+class MedianDynamicsProtocol final : public NodeProtocol {
+ public:
+  MedianDynamicsProtocol(const Key& initial, std::uint64_t iterations)
+      : state_(initial), iterations_(iterations) {}
+
+  [[nodiscard]] Key exposed() const override { return state_; }
+  [[nodiscard]] bool wants_pull(std::uint64_t) const override {
+    return !finished();
+  }
+  void deliver(std::uint64_t round, const Key& payload) override;
+  void finish_round(std::uint64_t round) override;
+  [[nodiscard]] bool finished() const override {
+    return completed_ >= iterations_;
+  }
+
+  [[nodiscard]] const Key& state() const noexcept { return state_; }
+
+ private:
+  Key state_;
+  std::uint64_t iterations_;
+  std::uint64_t completed_ = 0;
+  int phase_ = 0;  // 0: expecting first sample, 1: expecting second
+  Key sample_a_;
+  Key sample_b_;
+  bool have_a_ = false;
+  bool have_b_ = false;
+};
+
+}  // namespace gq

@@ -1,0 +1,81 @@
+// Failure model from Section 5 of the paper: every node v in every round i
+// fails to perform its operation (push or pull) with a pre-determined
+// probability p_{v,i} bounded by a constant mu < 1.
+//
+// FailureModel is a small value type: it stores a probability function
+// (node, round) -> p and named constructors cover the common cases.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+class FailureModel {
+ public:
+  using ProbabilityFn = std::function<double(std::uint32_t node, std::uint64_t round)>;
+
+  // No failures (p = 0 everywhere). Default.
+  FailureModel() = default;
+
+  // Every node fails in every round with the same probability mu in [0, 1).
+  [[nodiscard]] static FailureModel uniform(double mu) {
+    GQ_REQUIRE(mu >= 0.0 && mu < 1.0, "failure probability must be in [0,1)");
+    FailureModel fm;
+    if (mu > 0.0) {
+      fm.fn_ = [mu](std::uint32_t, std::uint64_t) { return mu; };
+      fm.max_probability_ = mu;
+    }
+    return fm;
+  }
+
+  // Per-node probabilities, constant across rounds.
+  [[nodiscard]] static FailureModel per_node(std::vector<double> probs) {
+    double mu = 0.0;
+    for (double p : probs) {
+      GQ_REQUIRE(p >= 0.0 && p < 1.0, "failure probability must be in [0,1)");
+      mu = p > mu ? p : mu;
+    }
+    FailureModel fm;
+    fm.fn_ = [probs = std::move(probs)](std::uint32_t v, std::uint64_t) {
+      return v < probs.size() ? probs[v] : 0.0;
+    };
+    fm.max_probability_ = mu;
+    return fm;
+  }
+
+  // Arbitrary schedule. `max_probability` must bound fn from above; it is
+  // reported through max_probability() so protocols can size their pull
+  // fan-out as Theta(1/(1-mu) * log(1/(1-mu))).
+  [[nodiscard]] static FailureModel custom(ProbabilityFn fn,
+                                           double max_probability) {
+    GQ_REQUIRE(max_probability >= 0.0 && max_probability < 1.0,
+               "failure probability bound must be in [0,1)");
+    FailureModel fm;
+    fm.fn_ = std::move(fn);
+    fm.max_probability_ = max_probability;
+    return fm;
+  }
+
+  [[nodiscard]] double probability(std::uint32_t node,
+                                   std::uint64_t round) const {
+    return fn_ ? fn_(node, round) : 0.0;
+  }
+
+  // The constant mu bounding all per-node/round probabilities.
+  [[nodiscard]] double max_probability() const noexcept {
+    return max_probability_;
+  }
+
+  [[nodiscard]] bool never_fails() const noexcept { return !fn_; }
+
+ private:
+  ProbabilityFn fn_;  // empty => never fails
+  double max_probability_ = 0.0;
+};
+
+}  // namespace gq

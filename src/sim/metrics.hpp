@@ -1,0 +1,38 @@
+// Traffic and round accounting for a simulated gossip execution.
+//
+// Every algorithm in this library advances rounds and records messages
+// through Network, so the counters below are honest end-to-end costs in the
+// paper's model: rounds of synchronous gossip, messages exchanged, and bits
+// on the wire (message sizes are accounted, not serialized).
+#pragma once
+
+#include <cstdint>
+
+namespace gq {
+
+struct Metrics {
+  std::uint64_t rounds = 0;             // synchronous gossip rounds elapsed
+  std::uint64_t messages = 0;           // successful push/pull messages
+  std::uint64_t message_bits = 0;       // sum of message sizes in bits
+  std::uint64_t max_message_bits = 0;   // largest single message
+  std::uint64_t failed_operations = 0;  // node-rounds lost to failures
+
+  void record_message(std::uint64_t bits) noexcept {
+    ++messages;
+    message_bits += bits;
+    if (bits > max_message_bits) max_message_bits = bits;
+  }
+
+  // Difference of two snapshots: cost of the phase between them.
+  [[nodiscard]] Metrics since(const Metrics& earlier) const noexcept {
+    Metrics d;
+    d.rounds = rounds - earlier.rounds;
+    d.messages = messages - earlier.messages;
+    d.message_bits = message_bits - earlier.message_bits;
+    d.max_message_bits = max_message_bits;
+    d.failed_operations = failed_operations - earlier.failed_operations;
+    return d;
+  }
+};
+
+}  // namespace gq

@@ -1,0 +1,28 @@
+#include "sim/network.hpp"
+
+#include <bit>
+
+namespace gq {
+
+std::vector<std::uint32_t> Network::pull_round(std::uint64_t bits_per_message) {
+  begin_round();
+  std::vector<std::uint32_t> peers(n_, kNoPeer);
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    if (node_fails(v)) {
+      record_failed_operation();
+      continue;
+    }
+    SplitMix64 stream = node_stream(v);
+    peers[v] = sample_peer(v, stream);
+    record_message(bits_per_message);
+  }
+  return peers;
+}
+
+std::uint64_t Network::default_message_bits() const noexcept {
+  const auto log2n = static_cast<std::uint64_t>(std::bit_width(
+      static_cast<std::uint64_t>(n_ - 1)));
+  return 2 * log2n;
+}
+
+}  // namespace gq

@@ -1,0 +1,130 @@
+// The uniform gossip network simulator.
+//
+// Model (Section 1 of the paper): computation proceeds in synchronized
+// rounds.  In each round every node performs one push (deliver a message to
+// a uniformly random other node) or one pull (receive a message from a
+// uniformly random other node).  Messages are O(log n) bits; the simulator
+// accounts sizes instead of serializing bytes.  Under the Section-5 failure
+// model, node v's operation in round i is lost with probability p_{v,i}.
+//
+// Determinism: all randomness of node v in round r is a pure function of
+// (master seed, r, v).  Two runs with the same seed produce identical
+// transcripts, and a node's draws do not depend on the order in which other
+// nodes are processed.
+//
+// Protocols drive the network through two levels of API:
+//   * whole-round helpers (pull_round, push_round) covering the common
+//     "every node contacts one random peer" pattern, and
+//   * low-level primitives (begin_round / node_stream / sample_peer /
+//     node_fails / record_messages) for protocols with richer per-round
+//     behaviour such as the token-splitting step of the exact algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/failure_model.hpp"
+#include "sim/metrics.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+
+class Network {
+ public:
+  // Sentinel peer index meaning "this node's operation failed this round".
+  static constexpr std::uint32_t kNoPeer = 0xffffffffu;
+
+  Network(std::uint32_t n, std::uint64_t seed,
+          FailureModel failures = FailureModel{})
+      : n_(n), seed_(seed), failures_(std::move(failures)) {
+    GQ_REQUIRE(n >= 2, "a gossip network needs at least two nodes");
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const FailureModel& failures() const noexcept {
+    return failures_;
+  }
+
+  // ---- low-level primitives --------------------------------------------
+
+  // Starts the next synchronous round and returns its index.
+  std::uint64_t begin_round() noexcept {
+    ++round_;
+    ++metrics_.rounds;
+    return round_;
+  }
+
+  // Independent random stream for node v in the current round.  Protocols
+  // must draw from it in a fixed program order to stay deterministic.
+  [[nodiscard]] SplitMix64 node_stream(std::uint32_t v) const noexcept {
+    // Mix round and node into the master seed with two odd constants; the
+    // SplitMix64 constructor's first output then decorrelates neighbours.
+    const std::uint64_t s = seed_ ^ (round_ * 0x9e3779b97f4a7c15ULL) ^
+                            (static_cast<std::uint64_t>(v) + 1) *
+                                0xd1342543de82ef95ULL;
+    return SplitMix64{s};
+  }
+
+  // Samples whether node v's operation fails in the current round.  Uses a
+  // dedicated stream so the failure coin does not perturb peer choices.
+  [[nodiscard]] bool node_fails(std::uint32_t v) const noexcept {
+    const double p = failures_.probability(v, round_);
+    if (p <= 0.0) return false;
+    SplitMix64 s{seed_ ^ 0x5851f42d4c957f2dULL ^
+                 (round_ * 0xd6e8feb86659fd93ULL) ^
+                 (static_cast<std::uint64_t>(v) + 1) * 0xaef17502108ef2d9ULL};
+    return rand_bernoulli(s, p);
+  }
+
+  // Uniformly random node other than v, drawn from `stream`.
+  [[nodiscard]] std::uint32_t sample_peer(std::uint32_t v,
+                                          SplitMix64& stream) const noexcept {
+    auto idx = static_cast<std::uint32_t>(rand_index(stream, n_ - 1));
+    return idx >= v ? idx + 1 : idx;
+  }
+
+  // Traffic accounting for the current round.
+  void record_messages(std::uint64_t count, std::uint64_t bits_each) noexcept {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      metrics_.record_message(bits_each);
+    }
+  }
+  void record_message(std::uint64_t bits) noexcept {
+    metrics_.record_message(bits);
+  }
+  void record_failed_operation() noexcept { ++metrics_.failed_operations; }
+
+  // ---- whole-round helpers ---------------------------------------------
+
+  // One synchronous round in which every node attempts a single pull of a
+  // `bits_per_message`-bit message.  out[v] is the contacted peer, or
+  // kNoPeer if v's operation failed.
+  [[nodiscard]] std::vector<std::uint32_t> pull_round(
+      std::uint64_t bits_per_message);
+
+  // One synchronous round in which every node attempts a single push.
+  // out[v] is the destination chosen by v, or kNoPeer on failure.  (The
+  // mechanics are identical to pull_round; the distinction is which side
+  // supplies the message, which matters to the protocol, not the sampler.)
+  [[nodiscard]] std::vector<std::uint32_t> push_round(
+      std::uint64_t bits_per_message) {
+    return pull_round(bits_per_message);
+  }
+
+  // Default message budget of the model: Theta(log n) bits.  Computed as
+  // 2*ceil(log2 n) — one value plus one tag word.
+  [[nodiscard]] std::uint64_t default_message_bits() const noexcept;
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  FailureModel failures_;
+  std::uint64_t round_ = 0;
+  Metrics metrics_;
+};
+
+}  // namespace gq

@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gq {
+
+void TraceRecorder::record(std::string_view series, std::uint64_t round,
+                           double value) {
+  points_.push_back(TracePoint{std::string(series), round, value});
+}
+
+std::vector<TracePoint> TraceRecorder::series(std::string_view name) const {
+  std::vector<TracePoint> out;
+  for (const TracePoint& p : points_) {
+    if (p.series == name) out.push_back(p);
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "series,round,value\n";
+  for (const TracePoint& p : points_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", p.value);
+    os << p.series << ',' << p.round << ',' << buf << '\n';
+  }
+  return os.str();
+}
+
+bool TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace gq

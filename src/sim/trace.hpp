@@ -1,0 +1,43 @@
+// Round-trace recording: named time series collected during a simulation,
+// exportable as CSV.  Benches use this to regenerate the paper's "figure"
+// data (per-iteration tail fractions, informed counts, ...) in a form a
+// plotting script can consume directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gq {
+
+struct TracePoint {
+  std::string series;
+  std::uint64_t round = 0;
+  double value = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void record(std::string_view series, std::uint64_t round, double value);
+
+  [[nodiscard]] const std::vector<TracePoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  // All points of one series, in recording order.
+  [[nodiscard]] std::vector<TracePoint> series(std::string_view name) const;
+
+  // "series,round,value\n" rows with a header line.
+  [[nodiscard]] std::string to_csv() const;
+
+  // Writes to_csv() to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace gq

@@ -1,0 +1,60 @@
+#include "sketch/compactor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+CompactingBuffer::CompactingBuffer(std::size_t capacity)
+    : capacity_(capacity) {
+  GQ_REQUIRE(capacity >= 2, "compacting buffer capacity must be at least 2");
+  items_.reserve(capacity);
+}
+
+void CompactingBuffer::add(const Key& k) {
+  GQ_REQUIRE(weight_ == 1, "add() is only valid before the first compaction");
+  GQ_REQUIRE(items_.size() < capacity_, "buffer is full");
+  const auto pos = std::lower_bound(items_.begin(), items_.end(), k);
+  items_.insert(pos, k);
+}
+
+CompactingBuffer CompactingBuffer::merged(const CompactingBuffer& a,
+                                          const CompactingBuffer& b,
+                                          bool keep_odd) {
+  GQ_REQUIRE(a.weight_ == b.weight_,
+             "merged() requires buffers of equal per-item weight");
+  CompactingBuffer out(a.capacity_);
+  out.weight_ = a.weight_;
+  out.items_.resize(a.items_.size() + b.items_.size());
+  std::merge(a.items_.begin(), a.items_.end(), b.items_.begin(),
+             b.items_.end(), out.items_.begin());
+  if (out.items_.size() > out.capacity_) {
+    std::vector<Key> kept;
+    kept.reserve(out.items_.size() / 2 + 1);
+    for (std::size_t i = keep_odd ? 1 : 0; i < out.items_.size(); i += 2) {
+      kept.push_back(out.items_[i]);
+    }
+    out.items_ = std::move(kept);
+    out.weight_ *= 2;
+  }
+  return out;
+}
+
+std::uint64_t CompactingBuffer::weighted_rank(const Key& z) const {
+  const auto it = std::upper_bound(items_.begin(), items_.end(), z);
+  return weight_ * static_cast<std::uint64_t>(it - items_.begin());
+}
+
+Key CompactingBuffer::quantile(double phi) const {
+  GQ_REQUIRE(!items_.empty(), "quantile of an empty buffer");
+  GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
+  const auto n = items_.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(phi * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return items_[rank - 1];
+}
+
+}  // namespace gq

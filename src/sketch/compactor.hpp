@@ -1,0 +1,58 @@
+// The compaction primitive of Appendix A.1.
+//
+// A CompactingBuffer holds up to `capacity` keys, each carrying the same
+// power-of-two weight.  Merging two buffers of equal weight concatenates
+// them; if the union exceeds capacity it is compacted: sorted, and only the
+// items in alternating positions are kept, with the per-item weight doubled.
+// One compaction changes the weighted rank of any query point by at most the
+// pre-compaction weight (Lemma A.3), which is what makes the doubling
+// algorithm with compaction accurate (Corollary A.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+
+namespace gq {
+
+class CompactingBuffer {
+ public:
+  explicit CompactingBuffer(std::size_t capacity);
+
+  // Appends a weight-1 item.  Only valid before any compaction has happened
+  // (weight() == 1); used to seed the buffer with the node's own value.
+  void add(const Key& k);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::uint64_t weight() const noexcept { return weight_; }
+  [[nodiscard]] std::span<const Key> items() const noexcept { return items_; }
+  // Total weighted mass represented by this buffer.
+  [[nodiscard]] std::uint64_t total_weight() const noexcept {
+    return weight_ * items_.size();
+  }
+
+  // Union of two buffers with equal per-item weight; compacts (keeping the
+  // items at odd 0-based positions of the sorted union if `keep_odd`, else
+  // even) whenever the union exceeds the capacity.  Capacity is inherited
+  // from `a`.
+  [[nodiscard]] static CompactingBuffer merged(const CompactingBuffer& a,
+                                               const CompactingBuffer& b,
+                                               bool keep_odd);
+
+  // Weighted rank of z: weight() * #{item <= z}.
+  [[nodiscard]] std::uint64_t weighted_rank(const Key& z) const;
+
+  // Weighted quantile: the smallest stored key whose weighted rank reaches
+  // phi * total_weight() (nearest-rank rule).
+  [[nodiscard]] Key quantile(double phi) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t weight_ = 1;
+  std::vector<Key> items_;  // kept sorted
+};
+
+}  // namespace gq

@@ -1,0 +1,115 @@
+#include "sketch/kll.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+KllSketch::KllSketch(std::size_t k, std::uint64_t seed)
+    : k_(k), rng_(derive_seed(seed, 0x6b11)) {
+  GQ_REQUIRE(k >= 8, "KLL needs k >= 8 for sensible accuracy");
+  levels_.emplace_back();
+}
+
+std::size_t KllSketch::level_capacity(std::size_t level) const {
+  // Capacity decays as k * (2/3)^(depth below top), floored at 2.
+  const std::size_t depth = levels_.size() - 1 - level;
+  double cap = static_cast<double>(k_);
+  for (std::size_t i = 0; i < depth; ++i) cap *= 2.0 / 3.0;
+  return std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(cap)));
+}
+
+void KllSketch::insert(const Key& key) {
+  levels_[0].push_back(key);
+  ++count_;
+  compress();
+}
+
+void KllSketch::merge(const KllSketch& other) {
+  GQ_REQUIRE(k_ == other.k_, "cannot merge KLL sketches with different k");
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  for (std::size_t h = 0; h < other.levels_.size(); ++h) {
+    levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                      other.levels_[h].end());
+  }
+  count_ += other.count_;
+  compress();
+}
+
+void KllSketch::compact_level(std::size_t level) {
+  if (level + 1 >= levels_.size()) levels_.emplace_back();
+  auto& buf = levels_[level];
+  std::sort(buf.begin(), buf.end());
+  const bool keep_odd = rand_bernoulli(rng_, 0.5);
+  auto& up = levels_[level + 1];
+  for (std::size_t i = keep_odd ? 1 : 0; i < buf.size(); i += 2) {
+    up.push_back(buf[i]);
+  }
+  // An odd-sized buffer with keep_odd drops the last item; with !keep_odd it
+  // promotes one extra.  Both are the standard unbiased halving.
+  buf.clear();
+}
+
+void KllSketch::compress() {
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    if (levels_[h].size() > level_capacity(h)) {
+      compact_level(h);
+    }
+  }
+}
+
+std::size_t KllSketch::space() const noexcept {
+  std::size_t s = 0;
+  for (const auto& level : levels_) s += level.size();
+  return s;
+}
+
+std::uint64_t KllSketch::rank(const Key& z) const {
+  std::uint64_t r = 0;
+  std::uint64_t weight = 1;
+  for (const auto& level : levels_) {
+    for (const Key& item : level) {
+      if (item <= z) r += weight;
+    }
+    weight *= 2;
+  }
+  return r;
+}
+
+Key KllSketch::quantile(double phi) const {
+  GQ_REQUIRE(!empty(), "quantile of an empty sketch");
+  GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
+  // Collect (key, weight) pairs, sort by key, walk the cumulative weight.
+  std::vector<std::pair<Key, std::uint64_t>> weighted;
+  weighted.reserve(space());
+  std::uint64_t weight = 1;
+  std::uint64_t total = 0;
+  for (const auto& level : levels_) {
+    for (const Key& item : level) {
+      weighted.emplace_back(item, weight);
+      total += weight;
+    }
+    weight *= 2;
+  }
+  GQ_REQUIRE(total > 0, "quantile of a sketch with no stored items");
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const double target = phi * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (const auto& [key, w] : weighted) {
+    cum += w;
+    if (static_cast<double>(cum) >= target) return key;
+  }
+  return weighted.back().first;
+}
+
+std::uint64_t KllSketch::message_bits(std::uint32_t n) const {
+  // Stored keys plus one level-size word per level.
+  return space() * key_bits(n) + levels_.size() * 32;
+}
+
+}  // namespace gq

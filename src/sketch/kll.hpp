@@ -1,0 +1,64 @@
+// A KLL-style mergeable quantile sketch (Karnin, Lang, Liberty; FOCS'16),
+// the state of the art the paper's Appendix A discusses porting to gossip.
+//
+// The sketch keeps a hierarchy of compactors: level h stores items of weight
+// 2^h.  Level capacities decay geometrically (c = 2/3) from k at the top, so
+// total space is O(k).  A full level is sorted and every other item (random
+// offset) is promoted to the level above.  Rank queries sum weighted ranks
+// over all levels; the standard analysis gives additive rank error
+// O(total_weight / k) with high probability.
+//
+// Provided as a library extension: the paper argues that even an optimal
+// sketch cannot beat the tournament algorithms under the O(log n)-bit
+// message constraint, and bench_sampling_family quantifies exactly that
+// trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+
+class KllSketch {
+ public:
+  // k: top-level capacity (accuracy knob).  seed: randomness for the
+  // odd/even promotion coins.
+  explicit KllSketch(std::size_t k, std::uint64_t seed = 1);
+
+  void insert(const Key& key);
+  void merge(const KllSketch& other);
+
+  // Total weighted item count (number of inserts across merges).
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  // Number of keys physically stored.
+  [[nodiscard]] std::size_t space() const noexcept;
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  // Estimated rank of z: #{inserted keys <= z}.
+  [[nodiscard]] std::uint64_t rank(const Key& z) const;
+
+  // Estimated phi-quantile over everything inserted.
+  [[nodiscard]] Key quantile(double phi) const;
+
+  // Serialized size in bits under the model's accounting (used when a
+  // sketch is shipped as a gossip message).
+  [[nodiscard]] std::uint64_t message_bits(std::uint32_t n) const;
+
+ private:
+  [[nodiscard]] std::size_t level_capacity(std::size_t level) const;
+  void compact_level(std::size_t level);
+  void compress();
+
+  std::size_t k_;
+  Rng rng_;
+  std::uint64_t count_ = 0;
+  // levels_[h] holds the (unsorted between compactions) items of weight 2^h.
+  std::vector<std::vector<Key>> levels_;
+};
+
+}  // namespace gq

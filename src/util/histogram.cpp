@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      cell_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  GQ_REQUIRE(hi > lo, "histogram range must be non-empty");
+  GQ_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / cell_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi_
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + cell_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + cell_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cdf(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (x <= lo_) {
+    return static_cast<double>(underflow_) / static_cast<double>(total_);
+  }
+  double below = static_cast<double>(underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (x >= bucket_hi(i)) {
+      below += static_cast<double>(counts_[i]);
+    } else if (x > bucket_lo(i)) {
+      const double frac = (x - bucket_lo(i)) / cell_;
+      below += frac * static_cast<double>(counts_[i]);
+      break;
+    } else {
+      break;
+    }
+  }
+  return below / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(counts_[i]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(width)));
+    os << '[' << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) os << "underflow " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace gq

@@ -1,0 +1,47 @@
+// Fixed-width histogram used by benches to report error distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gq {
+
+class Histogram {
+ public:
+  // Buckets [lo, hi) split into `buckets` equal cells, plus underflow and
+  // overflow counters.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+
+  // Fraction of samples strictly below x (linear interpolation inside the
+  // containing bucket). Useful for "what fraction of nodes had error < eps".
+  [[nodiscard]] double cdf(double x) const noexcept;
+
+  // Compact ASCII rendering for bench output.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double cell_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gq

@@ -1,0 +1,35 @@
+// Contract-checking macros for the gq library.
+//
+// GQ_REQUIRE checks preconditions at public API boundaries and throws
+// std::invalid_argument with a descriptive message on violation; it is always
+// enabled.  GQ_ASSERT checks internal invariants and aborts via assert(); it
+// compiles out in NDEBUG builds.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gq::detail {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "gq precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace gq::detail
+
+#define GQ_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::gq::detail::throw_requirement_failure(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+    }                                                                      \
+  } while (false)
+
+#define GQ_ASSERT(expr) assert(expr)

@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double sample_quantile(std::span<const double> xs, double q) {
+  GQ_REQUIRE(!xs.empty(), "sample_quantile needs a non-empty sample");
+  GQ_REQUIRE(q >= 0.0 && q <= 1.0, "quantile parameter must lie in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  // Nearest-rank: index ceil(q*n) in 1-based terms, clamped to [1, n].
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sorted[rank - 1];
+}
+
+std::size_t rank_of(std::span<const double> xs, double x) {
+  std::size_t r = 0;
+  for (double v : xs) {
+    if (v <= x) ++r;
+  }
+  return r;
+}
+
+double median_abs_deviation(std::span<const double> xs) {
+  GQ_REQUIRE(!xs.empty(), "median_abs_deviation needs a non-empty sample");
+  const double med = sample_quantile(xs, 0.5);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double v : xs) dev.push_back(std::abs(v - med));
+  return sample_quantile(dev, 0.5);
+}
+
+}  // namespace gq

@@ -1,0 +1,46 @@
+// Running statistics and small sample-summary helpers used by tests and the
+// benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gq {
+
+// Welford's online algorithm: numerically stable mean/variance accumulation.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Sample variance (divides by n-1); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  // Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sorts a copy of `xs` and returns the empirical q-quantile via the
+// nearest-rank rule (q in [0,1]).  Intended for offline summaries, not the
+// gossip protocols themselves.
+[[nodiscard]] double sample_quantile(std::span<const double> xs, double q);
+
+// Exact 1-based rank of `x` in `xs`: the number of elements <= x.
+[[nodiscard]] std::size_t rank_of(std::span<const double> xs, double x);
+
+// Median absolute deviation around the median; robust spread estimate.
+[[nodiscard]] double median_abs_deviation(std::span<const double> xs);
+
+}  // namespace gq

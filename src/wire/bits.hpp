@@ -1,0 +1,92 @@
+// Bit-level serialization: the wire format grounding the model's
+// "O(log n)-bit message" accounting in actual encodable bytes.
+//
+// BitWriter packs values LSB-first into a byte buffer; BitReader replays
+// them.  Both are deliberately minimal: fixed-width fields only, no
+// alignment, no endianness concerns beyond the in-memory layout (this is a
+// simulation wire format, not a network ABI).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+class BitWriter {
+ public:
+  // Appends the low `bits` bits of `value` (bits in [0, 64]).
+  void write_bits(std::uint64_t value, unsigned bits) {
+    GQ_REQUIRE(bits <= 64, "cannot write more than 64 bits at once");
+    for (unsigned i = 0; i < bits; ++i) {
+      const bool bit = (value >> i) & 1u;
+      const std::size_t byte = bit_count_ / 8;
+      if (byte >= buf_.size()) buf_.push_back(0);
+      if (bit) buf_[byte] |= static_cast<std::uint8_t>(1u << (bit_count_ % 8));
+      ++bit_count_;
+    }
+  }
+
+  // IEEE-754 doubles travel as their 64-bit pattern.
+  void write_double(double x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    write_bits(bits, 64);
+  }
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint64_t read_bits(unsigned bits) {
+    GQ_REQUIRE(bits <= 64, "cannot read more than 64 bits at once");
+    GQ_REQUIRE(cursor_ + bits <= bytes_.size() * 8,
+               "read past the end of the buffer");
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+      const std::size_t pos = cursor_ + i;
+      const bool bit = (bytes_[pos / 8] >> (pos % 8)) & 1u;
+      if (bit) value |= (1ull << i);
+    }
+    cursor_ += bits;
+    return value;
+  }
+
+  [[nodiscard]] double read_double() {
+    const std::uint64_t bits = read_bits(64);
+    double x = 0.0;
+    std::memcpy(&x, &bits, sizeof(x));
+    return x;
+  }
+
+  [[nodiscard]] std::size_t bits_consumed() const noexcept { return cursor_; }
+  [[nodiscard]] std::size_t bits_remaining() const noexcept {
+    return bytes_.size() * 8 - cursor_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+// Width in bits of the smallest field holding values in [0, n).
+[[nodiscard]] constexpr unsigned field_width(std::uint64_t n) noexcept {
+  unsigned w = 1;
+  while ((1ull << w) < n) ++w;
+  return w;
+}
+
+}  // namespace gq

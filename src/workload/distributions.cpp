@@ -1,0 +1,128 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+namespace {
+
+// Standard normal via Box-Muller on our generator (std::normal_distribution
+// is not reproducible across standard library implementations).
+double standard_normal(Rng& rng) {
+  const double u1 = std::max(rand_double(rng), 1e-300);
+  const double u2 = rand_double(rng);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+// Zipf(s) over {1..n} by inversion on the truncated zeta CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_[k - 1] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::size_t operator()(Rng& rng) const {
+    const double u = rand_double(rng);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+const std::vector<Distribution>& all_distributions() {
+  static const std::vector<Distribution> kAll = {
+      Distribution::kUniformPermutation, Distribution::kUniformReal,
+      Distribution::kGaussian,           Distribution::kExponential,
+      Distribution::kZipf,               Distribution::kBimodal,
+      Distribution::kClustered,          Distribution::kConstant,
+      Distribution::kDuplicateHeavy,     Distribution::kSortedAscending,
+  };
+  return kAll;
+}
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kUniformPermutation: return "uniform_permutation";
+    case Distribution::kUniformReal: return "uniform_real";
+    case Distribution::kGaussian: return "gaussian";
+    case Distribution::kExponential: return "exponential";
+    case Distribution::kZipf: return "zipf";
+    case Distribution::kBimodal: return "bimodal";
+    case Distribution::kClustered: return "clustered";
+    case Distribution::kConstant: return "constant";
+    case Distribution::kDuplicateHeavy: return "duplicate_heavy";
+    case Distribution::kSortedAscending: return "sorted_ascending";
+  }
+  return "unknown";
+}
+
+std::vector<double> generate_values(Distribution d, std::size_t n,
+                                    std::uint64_t seed) {
+  GQ_REQUIRE(n > 0, "workload size must be positive");
+  Rng rng(derive_seed(seed, static_cast<std::uint64_t>(d)));
+  std::vector<double> xs(n);
+  switch (d) {
+    case Distribution::kUniformPermutation: {
+      std::iota(xs.begin(), xs.end(), 1.0);
+      // Fisher-Yates with our generator for reproducibility.
+      for (std::size_t i = n - 1; i > 0; --i) {
+        const auto j = static_cast<std::size_t>(rand_index(rng, i + 1));
+        std::swap(xs[i], xs[j]);
+      }
+      break;
+    }
+    case Distribution::kUniformReal:
+      for (auto& x : xs) x = rand_double(rng);
+      break;
+    case Distribution::kGaussian:
+      for (auto& x : xs) x = standard_normal(rng);
+      break;
+    case Distribution::kExponential:
+      for (auto& x : xs) {
+        x = -std::log(std::max(rand_double(rng), 1e-300));
+      }
+      break;
+    case Distribution::kZipf: {
+      const ZipfSampler zipf(n, 1.2);
+      for (auto& x : xs) x = static_cast<double>(zipf(rng));
+      break;
+    }
+    case Distribution::kBimodal:
+      for (auto& x : xs) {
+        const double mode = rand_bernoulli(rng, 0.5) ? -10.0 : 10.0;
+        x = mode + standard_normal(rng);
+      }
+      break;
+    case Distribution::kClustered:
+      for (auto& x : xs) {
+        const auto cluster = static_cast<double>(rand_index(rng, 8));
+        x = cluster * 100.0 + 0.01 * standard_normal(rng);
+      }
+      break;
+    case Distribution::kConstant:
+      std::fill(xs.begin(), xs.end(), 42.0);
+      break;
+    case Distribution::kDuplicateHeavy:
+      for (auto& x : xs) x = static_cast<double>(rand_index(rng, 10));
+      break;
+    case Distribution::kSortedAscending:
+      std::iota(xs.begin(), xs.end(), 1.0);
+      break;
+  }
+  return xs;
+}
+
+}  // namespace gq

@@ -1,0 +1,39 @@
+// Workload generators: value distributions assigned to the n nodes.
+//
+// The gossip protocols are comparison-based, so only the rank structure of
+// the input matters; these generators cover the interesting rank structures:
+// distinct permutations, continuous distributions, heavy ties, clusters and
+// adversarially ordered inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gq {
+
+enum class Distribution {
+  kUniformPermutation,  // a random permutation of {1..n}: distinct integers
+  kUniformReal,         // i.i.d. Uniform[0,1)
+  kGaussian,            // i.i.d. Normal(0,1)
+  kExponential,         // i.i.d. Exp(1): skewed
+  kZipf,                // i.i.d. Zipf(s=1.2) over {1..n}: heavy ties + skew
+  kBimodal,             // mixture of two well-separated Gaussians
+  kClustered,           // 8 tight clusters: near-ties within clusters
+  kConstant,            // all values equal: the pure-tie stress case
+  kDuplicateHeavy,      // values drawn from a tiny domain {0..9}
+  kSortedAscending,     // v_i = i: deterministic, id-correlated assignment
+};
+
+// All distributions, for parameterized sweeps.
+[[nodiscard]] const std::vector<Distribution>& all_distributions();
+
+[[nodiscard]] std::string to_string(Distribution d);
+
+// Generates the per-node input values for a network of size n.
+[[nodiscard]] std::vector<double> generate_values(Distribution d,
+                                                  std::size_t n,
+                                                  std::uint64_t seed);
+
+}  // namespace gq

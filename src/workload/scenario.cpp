@@ -1,0 +1,86 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+
+AdversarialPair make_adversarial_pair(std::size_t n, double eps,
+                                      std::uint64_t seed) {
+  GQ_REQUIRE(n >= 4, "adversarial pair needs n >= 4");
+  GQ_REQUIRE(eps > 0.0 && eps < 0.25, "eps must be in (0, 1/4)");
+  const auto b =
+      static_cast<std::size_t>(std::floor(2.0 * eps * static_cast<double>(n)));
+  GQ_REQUIRE(b >= 1, "eps*n too small: the distinguishing set is empty");
+
+  // Random assignment of the value multiset to nodes (shared permutation so
+  // the two scenarios differ only in the values, not the placement).
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(derive_seed(seed, 0xadf0));
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rand_index(rng, i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+
+  AdversarialPair out;
+  out.shift = b;
+  out.scenario_a.resize(n);
+  out.scenario_b.resize(n);
+  out.informative.assign(n, false);
+  for (std::size_t node = 0; node < n; ++node) {
+    const std::size_t value_index = perm[node] + 1;  // 1-based value
+    out.scenario_a[node] = static_cast<double>(value_index);
+    out.scenario_b[node] = static_cast<double>(value_index + b);
+    // S = {1,...,1+b} u {n+1,...,n+b}; under scenario_a the top part of S is
+    // held by nobody, so informativeness reduces to the two value fringes
+    // {1..1+b} (bottom of A) and {n-b+1..n} (whose B-images lie in the top
+    // part of S).
+    out.informative[node] = (value_index <= b + 1) || (value_index > n - b);
+  }
+  return out;
+}
+
+std::vector<double> make_sensor_field(std::size_t n, double hot_fraction,
+                                      std::uint64_t seed) {
+  GQ_REQUIRE(n > 0, "sensor field must be non-empty");
+  GQ_REQUIRE(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+             "hot_fraction must be in [0,1]");
+  Rng rng(derive_seed(seed, 0x5e50));
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    const bool hot = rand_bernoulli(rng, hot_fraction);
+    const double base = hot ? 80.0 : 20.0;
+    // Triangular-ish noise from the sum of two uniforms.
+    const double noise = 5.0 * (rand_double(rng) + rand_double(rng) - 1.0);
+    x = base + noise;
+  }
+  return xs;
+}
+
+std::vector<double> make_latency_trace(std::size_t n, std::uint64_t seed) {
+  GQ_REQUIRE(n > 0, "latency trace must be non-empty");
+  Rng rng(derive_seed(seed, 0x1a7e));
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    // Log-normal body: median ~10ms.
+    const double u1 = std::max(rand_double(rng), 1e-300);
+    const double u2 = rand_double(rng);
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    double ms = 10.0 * std::exp(0.5 * z);
+    // 2% of requests hit a Pareto(alpha=1.5) tail starting at 100ms.
+    if (rand_bernoulli(rng, 0.02)) {
+      const double u = std::max(rand_double(rng), 1e-12);
+      ms = 100.0 * std::pow(u, -1.0 / 1.5);
+    }
+    x = ms;
+  }
+  return xs;
+}
+
+}  // namespace gq

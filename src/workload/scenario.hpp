@@ -1,0 +1,43 @@
+// Scenario builders used by experiments.
+//
+// The main one is the lower-bound construction from Theorem 1.3: two inputs
+// that differ only on a Theta(eps*n)-sized fringe of extreme values, such
+// that distinguishing them is necessary for answering any eps-approximate
+// quantile query.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gq {
+
+// The Theorem 1.3 pair of scenarios.
+//   scenario_a: node values are a permutation of {1, ..., n}
+//   scenario_b: node values are a permutation of {1+b, ..., n+b}, b = floor(2*eps*n)
+// informative[v] is true iff v's value lies in the distinguishing set
+//   S = {1,...,1+b} u {n+1,...,n+b};
+// a node must (transitively) hear from S before it can answer correctly.
+struct AdversarialPair {
+  std::vector<double> scenario_a;
+  std::vector<double> scenario_b;
+  std::vector<bool> informative;  // w.r.t. scenario_a's assignment
+  std::size_t shift = 0;          // b above
+};
+
+[[nodiscard]] AdversarialPair make_adversarial_pair(std::size_t n, double eps,
+                                                    std::uint64_t seed);
+
+// Sensor-field workload used by the examples and robustness benches: a field
+// of temperature readings with a hot region.  hot_fraction of nodes read
+// from the hot distribution.
+[[nodiscard]] std::vector<double> make_sensor_field(std::size_t n,
+                                                    double hot_fraction,
+                                                    std::uint64_t seed);
+
+// Latency-like workload: log-normal body with a Pareto tail; the classic
+// shape of service response times for percentile monitoring.
+[[nodiscard]] std::vector<double> make_latency_trace(std::size_t n,
+                                                     std::uint64_t seed);
+
+}  // namespace gq

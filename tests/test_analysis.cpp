@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/rank_stats.hpp"
+#include "analysis/recurrences.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+TEST(TwoTournamentSchedule, EmptyWhenAlreadyBelowTarget) {
+  const auto s = two_tournament_schedule(0.2, 0.1);  // T = 0.4 > 0.2
+  EXPECT_EQ(s.iterations(), 0u);
+  ASSERT_EQ(s.h.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.h[0], 0.2);
+}
+
+TEST(TwoTournamentSchedule, SquaresUntilTarget) {
+  const double eps = 0.1;
+  const auto s = two_tournament_schedule(0.85, eps);
+  ASSERT_GE(s.iterations(), 1u);
+  const double target = 0.5 - eps;
+  // All intermediate values follow h^2 exactly while delta == 1.
+  for (std::size_t i = 0; i + 1 < s.iterations(); ++i) {
+    EXPECT_DOUBLE_EQ(s.delta[i], 1.0);
+    EXPECT_DOUBLE_EQ(s.h[i + 1], s.h[i] * s.h[i]);
+    EXPECT_GT(s.h[i + 1], target);
+  }
+  // Truncated final iteration lands exactly on T.
+  EXPECT_NEAR(s.h.back(), target, 1e-12);
+  EXPECT_LE(s.delta.back(), 1.0);
+}
+
+TEST(TwoTournamentSchedule, FinalDeltaMatchesLemma24) {
+  const double eps = 0.05;
+  const auto s = two_tournament_schedule(1.0 - eps, eps);
+  ASSERT_GE(s.iterations(), 2u);
+  const double h = s.h[s.iterations() - 1];
+  const double target = 0.5 - eps;
+  const double expected_delta = (h - target) / (h - h * h);
+  EXPECT_NEAR(s.delta.back(), expected_delta, 1e-12);
+}
+
+TEST(TwoTournamentSchedule, IterationCountWithinLemma22) {
+  for (double eps : {0.2, 0.1, 0.05, 0.01, 0.001}) {
+    const auto s = two_tournament_schedule(1.0 - eps, eps);
+    EXPECT_LE(static_cast<double>(s.iterations()),
+              phase1_iteration_bound(eps) + 1.0)
+        << "eps=" << eps;
+  }
+}
+
+TEST(ThreeTournamentSchedule, FollowsMedianMap) {
+  const auto s = three_tournament_schedule(0.1, 1 << 16);
+  ASSERT_GE(s.iterations(), 2u);
+  for (std::size_t i = 0; i + 1 < s.l.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.l[i + 1], median_map(s.l[i]));
+  }
+  const double target = std::pow(65536.0, -1.0 / 3.0);
+  EXPECT_LE(s.l.back(), target);
+  EXPECT_GT(s.l[s.l.size() - 2], target);
+}
+
+TEST(ThreeTournamentSchedule, IterationCountWithinLemma212) {
+  for (double eps : {0.2, 0.1, 0.05, 0.01}) {
+    for (std::uint32_t n : {1u << 10, 1u << 14, 1u << 20}) {
+      const auto s = three_tournament_schedule(eps, n);
+      EXPECT_LE(static_cast<double>(s.iterations()),
+                phase2_iteration_bound(eps, n) + 2.0)
+          << "eps=" << eps << " n=" << n;
+    }
+  }
+}
+
+TEST(MedianMap, FixedPointsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(median_map(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(median_map(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(median_map(1.0), 1.0);
+  EXPECT_LT(median_map(0.3), 0.3);   // below 1/2 contracts to 0
+  EXPECT_GT(median_map(0.7), 0.7);   // above 1/2 expands to 1
+}
+
+TEST(TheoryBounds, LowerBoundGrowsWithBothParameters) {
+  EXPECT_GT(lower_bound_rounds(0.01, 1 << 10),
+            lower_bound_rounds(0.1, 1 << 10));
+  EXPECT_GE(lower_bound_rounds(0.2, 1ull << 40),
+            lower_bound_rounds(0.2, 1 << 10));
+}
+
+TEST(TheoryBounds, EpsFloorShrinksWithN) {
+  EXPECT_GT(eps_tournament_floor(1 << 8), eps_tournament_floor(1 << 16));
+  EXPECT_GT(eps_tournament_floor(1 << 16), eps_tournament_floor(1 << 24));
+  EXPECT_LE(eps_tournament_floor(4), 0.25);
+}
+
+TEST(TheoryBounds, RobustPullCountGrowsWithMu) {
+  const auto k0 = robust_pull_count(0.0, 4.0);
+  const auto k5 = robust_pull_count(0.5, 4.0);
+  const auto k9 = robust_pull_count(0.9, 4.0);
+  EXPECT_GE(k0, 2u);
+  EXPECT_GT(k5, k0);
+  EXPECT_GT(k9, k5);
+}
+
+TEST(TheoryBounds, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)phase1_iteration_bound(0.0), std::invalid_argument);
+  EXPECT_THROW((void)phase2_iteration_bound(0.6, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)robust_pull_count(1.0, 4.0), std::invalid_argument);
+}
+
+TEST(RankScale, RanksAndQuantiles) {
+  const std::vector<double> xs = {30, 10, 20, 40, 50};
+  const auto keys = make_keys(xs);
+  const RankScale scale(keys);
+  EXPECT_EQ(scale.size(), 5u);
+  EXPECT_EQ(scale.rank(keys[1]), 1u);  // value 10
+  EXPECT_EQ(scale.rank(keys[4]), 5u);  // value 50
+  EXPECT_DOUBLE_EQ(scale.quantile_of(keys[2]), 0.4);  // value 20
+  EXPECT_EQ(scale.key_at_rank(3).value, 30.0);
+  EXPECT_EQ(scale.exact_quantile(0.5).value, 30.0);
+  EXPECT_EQ(scale.exact_quantile(0.0).value, 10.0);
+  EXPECT_EQ(scale.exact_quantile(1.0).value, 50.0);
+}
+
+TEST(RankScale, TargetRankClampsToValidRange) {
+  const auto keys = make_keys(std::vector<double>{1, 2, 3, 4});
+  const RankScale scale(keys);
+  EXPECT_EQ(scale.target_rank(0.0), 1u);
+  EXPECT_EQ(scale.target_rank(1.0), 4u);
+  EXPECT_EQ(scale.target_rank(0.5), 2u);
+}
+
+TEST(RankScale, WithinEpsWindow) {
+  const auto keys = make_keys(generate_values(
+      Distribution::kUniformPermutation, 100, 3));
+  const RankScale scale(keys);
+  const Key& q40 = scale.key_at_rank(40);
+  EXPECT_TRUE(scale.within_eps(q40, 0.5, 0.1));    // rank in [40, 60]
+  EXPECT_FALSE(scale.within_eps(q40, 0.5, 0.05));  // rank in [45, 55]
+  // Edge quantiles clamp to the valid rank range.
+  EXPECT_TRUE(scale.within_eps(scale.key_at_rank(1), 0.0, 0.01));
+  EXPECT_TRUE(scale.within_eps(scale.key_at_rank(100), 1.0, 0.01));
+}
+
+TEST(EvaluateOutputs, AggregatesCorrectly) {
+  const auto keys = make_keys(generate_values(
+      Distribution::kUniformPermutation, 100, 5));
+  const RankScale scale(keys);
+  // Outputs: 3 perfect medians and 1 gross outlier.
+  std::vector<Key> outputs(3, scale.key_at_rank(50));
+  outputs.push_back(scale.key_at_rank(95));
+  const QuantileErrorSummary s = evaluate_outputs(scale, outputs, 0.5, 0.1);
+  EXPECT_EQ(s.nodes, 4u);
+  EXPECT_DOUBLE_EQ(s.frac_within_eps, 0.75);
+  EXPECT_NEAR(s.max_abs_error, 0.45, 1e-12);
+}
+
+}  // namespace
+}  // namespace gq

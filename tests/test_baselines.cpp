@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "baselines/doubling.hpp"
+#include "baselines/kdg03_quantile.hpp"
+#include "baselines/sampling.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+class Kdg03Sweep
+    : public ::testing::TestWithParam<std::tuple<Distribution, double>> {};
+
+TEST_P(Kdg03Sweep, SelectsExactQuantile) {
+  const auto [dist, phi] = GetParam();
+  constexpr std::uint32_t kN = 512;
+  const auto values = generate_values(dist, kN, 61);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 67);
+  Kdg03Params params;
+  params.phi = phi;
+  const auto r = kdg03_exact_quantile(net, values, params);
+  EXPECT_EQ(r.answer, scale.exact_quantile(phi))
+      << "dist=" << to_string(dist) << " phi=" << phi;
+  for (const Key& k : r.outputs) EXPECT_EQ(k, r.answer);
+  EXPECT_LE(r.phases, 60u);  // ~log n expected, assert generous cap
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Kdg03Sweep,
+    ::testing::Combine(::testing::Values(Distribution::kUniformPermutation,
+                                         Distribution::kDuplicateHeavy,
+                                         Distribution::kGaussian),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_phi" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(Kdg03, PhasesScaleLogarithmically) {
+  for (std::uint32_t n : {256u, 1024u, 4096u}) {
+    Network net(n, 71);
+    const auto values =
+        generate_values(Distribution::kUniformPermutation, n, 73);
+    Kdg03Params params;
+    params.phi = 0.5;
+    const auto r = kdg03_exact_quantile(net, values, params);
+    EXPECT_LE(static_cast<double>(r.phases),
+              4.0 * std::log2(static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(Sampling, OutputsWithinEps) {
+  constexpr std::uint32_t kN = 1024;
+  const double eps = 0.1;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 3);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 5);
+  SamplingParams params;
+  params.phi = 0.25;
+  params.eps = eps;
+  const auto r = sampling_quantile(net, values, params);
+  EXPECT_EQ(r.rounds, r.sample_size);
+  const auto summary = evaluate_outputs(scale, r.outputs, 0.25, eps);
+  EXPECT_GE(summary.frac_within_eps, 0.99);
+}
+
+TEST(Sampling, RoundsGrowQuadraticallyInInverseEps) {
+  constexpr std::uint32_t kN = 256;
+  Network a(kN, 7), b(kN, 7);
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, kN, 9);
+  SamplingParams coarse;
+  coarse.eps = 0.2;
+  SamplingParams fine;
+  fine.eps = 0.1;
+  const auto rc = sampling_quantile(a, values, coarse);
+  const auto rf = sampling_quantile(b, values, fine);
+  EXPECT_NEAR(static_cast<double>(rf.rounds) / rc.rounds, 4.0, 0.2);
+}
+
+TEST(Doubling, OutputsWithinTwoEps) {
+  constexpr std::uint32_t kN = 512;
+  const double eps = 0.15;
+  const auto values = generate_values(Distribution::kGaussian, kN, 11);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 13);
+  DoublingParams params;
+  params.phi = 0.5;
+  params.eps = eps;
+  const auto r = doubling_quantile(net, values, params);
+  // Lemma A.2 carries a correlation penalty; grant 2*eps.
+  const auto summary = evaluate_outputs(scale, r.outputs, 0.5, 2 * eps);
+  EXPECT_GE(summary.frac_within_eps, 0.98);
+}
+
+TEST(Doubling, RoundsAreDoublyLogarithmic) {
+  constexpr std::uint32_t kN = 512;
+  Network net(kN, 17);
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, kN, 19);
+  DoublingParams params;
+  params.eps = 0.15;
+  const auto r = doubling_quantile(net, values, params);
+  // log2(sample target) + 1 rounds.
+  const double target = 3.0 * std::log(512.0) / (0.15 * 0.15);
+  EXPECT_LE(static_cast<double>(r.rounds), std::log2(target) + 3.0);
+  EXPECT_GE(r.final_buffer_size, static_cast<std::size_t>(target));
+  // Message sizes blow up to Theta(|S| log n) bits: that is the point.
+  EXPECT_GE(r.max_message_bits, r.final_buffer_size / 2 * key_bits(kN));
+}
+
+TEST(Compaction, OutputsWithinTwoEpsWithSmallMessages) {
+  constexpr std::uint32_t kN = 512;
+  const double eps = 0.15;
+  const auto values = generate_values(Distribution::kExponential, kN, 23);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 29);
+  CompactionParams params;
+  params.phi = 0.5;
+  params.eps = eps;
+  const auto r = compaction_quantile(net, values, params);
+  const auto summary = evaluate_outputs(scale, r.outputs, 0.5, 2 * eps);
+  EXPECT_GE(summary.frac_within_eps, 0.95);
+
+  // The buffer (and hence every message) stays at the compaction capacity
+  // instead of the full sample size.
+  Network net2(kN, 29);
+  DoublingParams full;
+  full.phi = 0.5;
+  full.eps = eps;
+  const auto rf = doubling_quantile(net2, values, full);
+  EXPECT_LT(r.final_buffer_size, rf.final_buffer_size / 4);
+  EXPECT_LT(r.max_message_bits, rf.max_message_bits / 2);
+}
+
+TEST(Compaction, MatchesDoublingRoundCount) {
+  constexpr std::uint32_t kN = 256;
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, kN, 31);
+  Network a(kN, 37), b(kN, 37);
+  DoublingParams dp;
+  dp.eps = 0.2;
+  CompactionParams cp;
+  cp.eps = 0.2;
+  const auto rd = doubling_quantile(a, values, dp);
+  const auto rc = compaction_quantile(b, values, cp);
+  EXPECT_EQ(rd.rounds, rc.rounds);  // same doubling schedule
+}
+
+TEST(Baselines, RejectFailureModelWhereUnsupported) {
+  Network net(64, 1, FailureModel::uniform(0.2));
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, 64, 1);
+  DoublingParams dp;
+  EXPECT_THROW((void)doubling_quantile(net, values, dp),
+               std::invalid_argument);
+  CompactionParams cp;
+  EXPECT_THROW((void)compaction_quantile(net, values, cp),
+               std::invalid_argument);
+}
+
+TEST(Baselines, SamplingToleratesFailures) {
+  constexpr std::uint32_t kN = 512;
+  Network net(kN, 41, FailureModel::uniform(0.3));
+  const auto values = generate_values(Distribution::kUniformReal, kN, 43);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+  SamplingParams params;
+  params.phi = 0.5;
+  params.eps = 0.15;
+  const auto r = sampling_quantile(net, values, params);
+  // Failed pulls shrink the sample by ~30%; accuracy degrades gracefully.
+  const auto summary = evaluate_outputs(scale, r.outputs, 0.5, 0.3);
+  EXPECT_GE(summary.frac_within_eps, 0.97);
+}
+
+}  // namespace
+}  // namespace gq

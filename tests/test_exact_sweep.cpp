@@ -1,0 +1,104 @@
+// Fine-grained exact-quantile sweeps: a dense phi grid and the full
+// strategy matrix, complementing test_exact_quantile's coarse grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "core/exact_quantile.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+class DensePhiGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensePhiGrid, ExactAtEveryGridPoint) {
+  const double phi = GetParam() / 20.0;
+  constexpr std::uint32_t kN = 1024;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 777);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 4000 + GetParam());
+  ExactQuantileParams params;
+  params.phi = phi;
+  const auto r = exact_quantile(net, values, params);
+  const Key& truth = scale.exact_quantile(phi);
+  EXPECT_EQ(r.answer.value, truth.value) << "phi=" << phi;
+  EXPECT_EQ(r.answer.id, truth.id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DensePhiGrid, ::testing::Range(0, 21),
+                         [](const auto& info) {
+                           return "phi" + std::to_string(info.param * 5);
+                         });
+
+class StrategyMatrix
+    : public ::testing::TestWithParam<std::tuple<ExactStrategy, double>> {};
+
+TEST_P(StrategyMatrix, AllStrategiesAllTargets) {
+  const auto [strategy, phi] = GetParam();
+  constexpr std::uint32_t kN = 1 << 13;
+  const auto values = generate_values(Distribution::kBimodal, kN, 888);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 5000 + static_cast<std::uint64_t>(phi * 100));
+  ExactQuantileParams params;
+  params.phi = phi;
+  params.strategy = strategy;
+  const auto r = exact_quantile(net, values, params);
+  EXPECT_EQ(r.answer.value, scale.exact_quantile(phi).value);
+  EXPECT_EQ(r.outputs.size(), kN);
+  EXPECT_EQ(r.rounds, net.metrics().rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StrategyMatrix,
+    ::testing::Combine(::testing::Values(ExactStrategy::kAuto,
+                                         ExactStrategy::kPreferDuplication,
+                                         ExactStrategy::kPreferEndgame),
+                       ::testing::Values(0.05, 0.25, 0.5, 0.95)),
+    [](const auto& info) {
+      const char* s = std::get<0>(info.param) == ExactStrategy::kAuto
+                          ? "auto"
+                          : (std::get<0>(info.param) ==
+                                     ExactStrategy::kPreferDuplication
+                                 ? "dup"
+                                 : "endgame");
+      return std::string(s) + "_phi" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+class SizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SizeSweep, RoundsStayWithinLogLinearEnvelope) {
+  const std::uint32_t n = GetParam();
+  const auto values = generate_values(Distribution::kUniformReal, n, 999);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(n, 6000 + n);
+  ExactQuantileParams params;
+  params.phi = 0.5;
+  const auto r = exact_quantile(net, values, params);
+  EXPECT_EQ(r.answer.value, scale.exact_quantile(0.5).value);
+  // Generous O(log n) envelope: c * log2(n) with c = 200 covers all
+  // strategies at these sizes while rejecting anything super-logarithmic.
+  EXPECT_LE(static_cast<double>(r.rounds),
+            200.0 * std::log2(static_cast<double>(n)))
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(128u, 512u, 2048u, 8192u, 32768u),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gq

@@ -1,0 +1,159 @@
+// Cross-module integration tests: full pipelines on realistic workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "baselines/kdg03_quantile.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/exact_quantile.hpp"
+#include "core/own_rank.hpp"
+#include "workload/scenario.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+TEST(Integration, SensorFieldHotQuantiles) {
+  // The paper's motivating scenario: sensors computing the 10% and 90%
+  // quantiles so each node can tell whether it needs special attention.
+  constexpr std::uint32_t kN = 1 << 13;
+  const auto readings = make_sensor_field(kN, 0.15, 5);
+  const auto keys = make_keys(readings);
+  const RankScale scale(keys);
+
+  ApproxQuantileParams params;
+  params.eps = 0.12;
+
+  params.phi = 0.9;
+  Network net_hi(kN, 3);
+  const auto hi = approx_quantile(net_hi, readings, params);
+  params.phi = 0.1;
+  Network net_lo(kN, 4);
+  const auto lo = approx_quantile(net_lo, readings, params);
+
+  const auto s_hi = evaluate_outputs(scale, hi.outputs, 0.9, 0.12);
+  const auto s_lo = evaluate_outputs(scale, lo.outputs, 0.1, 0.12);
+  EXPECT_GE(s_hi.frac_within_eps, 0.99);
+  EXPECT_GE(s_lo.frac_within_eps, 0.99);
+
+  // Every node classifies itself; the hot sensors (readings near 80) must
+  // land above the 90%-quantile estimate minus slack.
+  std::size_t misclassified = 0;
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    const bool is_hot = readings[v] > 50.0;
+    const bool flagged = readings[v] >= hi.outputs[v].value;
+    // Hot region is 15% of nodes; the 0.9-quantile splits it, so hot
+    // nodes below the cut are fine — but a COLD node flagged as top-10% is
+    // a real misclassification.
+    if (!is_hot && flagged) ++misclassified;
+  }
+  EXPECT_LE(misclassified, kN / 50);
+}
+
+TEST(Integration, ExactMatchesKdg03OnSameInstance) {
+  constexpr std::uint32_t kN = 1024;
+  const auto trace = make_latency_trace(kN, 9);
+  const auto keys = make_keys(trace);
+  const RankScale scale(keys);
+
+  for (double phi : {0.5, 0.95, 0.99}) {
+    Network ours_net(kN, 11);
+    ExactQuantileParams ep;
+    ep.phi = phi;
+    const auto ours = exact_quantile(ours_net, trace, ep);
+
+    Network base_net(kN, 13);
+    Kdg03Params kp;
+    kp.phi = phi;
+    const auto base = kdg03_exact_quantile(base_net, trace, kp);
+
+    EXPECT_EQ(ours.answer.value, base.answer.value) << "phi=" << phi;
+    EXPECT_EQ(ours.answer.value, scale.exact_quantile(phi).value);
+  }
+}
+
+TEST(Integration, ApproxThenExactConsistency) {
+  // The approximate answer's rank window must contain the exact answer.
+  constexpr std::uint32_t kN = 1 << 13;
+  const auto values = make_latency_trace(kN, 21);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+  const double phi = 0.95, eps = 0.12;
+
+  Network net_a(kN, 23);
+  ApproxQuantileParams ap;
+  ap.phi = phi;
+  ap.eps = eps;
+  const auto approx = approx_quantile(net_a, values, ap);
+
+  Network net_e(kN, 25);
+  ExactQuantileParams ep;
+  ep.phi = phi;
+  const auto exact = exact_quantile(net_e, values, ep);
+
+  const double exact_q = scale.quantile_of(exact.answer);
+  std::size_t consistent = 0;
+  for (const Key& k : approx.outputs) {
+    const double q = scale.quantile_of(k);
+    consistent += (std::abs(q - exact_q) <= 2.0 * eps) ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(consistent) / kN, 0.99);
+}
+
+TEST(Integration, OwnRankAgreesWithExactQuantiles) {
+  constexpr std::uint32_t kN = 1 << 13;
+  const auto values = make_sensor_field(kN, 0.3, 31);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 33);
+  OwnRankParams params;
+  params.eps = 0.45;
+  const auto r = own_rank(net, values, params);
+  std::size_t ok = 0;
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    ok += std::abs(r.estimates[v] - scale.quantile_of(keys[v])) <=
+                  params.eps
+              ? 1
+              : 0;
+  }
+  EXPECT_GE(static_cast<double>(ok) / kN, 0.99);
+}
+
+TEST(Integration, MetricsComposeAcrossSequentialProtocols) {
+  constexpr std::uint32_t kN = 1024;
+  const auto values = make_latency_trace(kN, 41);
+  Network net(kN, 43);
+
+  ApproxQuantileParams ap;
+  ap.phi = 0.5;
+  ap.eps = 0.2;
+  const auto r1 = approx_quantile(net, values, ap);
+  const Metrics after_first = net.metrics();
+  EXPECT_EQ(after_first.rounds, r1.rounds);
+
+  ap.phi = 0.9;
+  const auto r2 = approx_quantile(net, values, ap);
+  EXPECT_EQ(net.metrics().rounds, r1.rounds + r2.rounds);
+}
+
+TEST(Integration, LargeScaleExactViaAutoStrategy) {
+  constexpr std::uint32_t kN = 1 << 14;
+  const auto values = make_latency_trace(kN, 51);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 53);
+  ExactQuantileParams params;
+  params.phi = 0.99;
+  const auto r = exact_quantile(net, values, params);
+  EXPECT_EQ(r.answer.value, scale.exact_quantile(0.99).value);
+  // O(log n) with our constants: generously under 10000 rounds at n=2^14
+  // (the KDG03 baseline needs more; see bench_exact_rounds).
+  EXPECT_LE(r.rounds, 10000u);
+}
+
+}  // namespace
+}  // namespace gq

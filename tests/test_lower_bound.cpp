@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/theory_bounds.hpp"
+#include "core/lower_bound.hpp"
+#include "workload/scenario.hpp"
+
+namespace gq {
+namespace {
+
+TEST(InformationSpread, EventuallyInformsEveryone) {
+  constexpr std::uint32_t kN = 4096;
+  const auto pair = make_adversarial_pair(kN, 0.05, 3);
+  Network net(kN, 7);
+  const auto r = simulate_information_spread(net, pair.informative);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.rounds_to_all, 0u);
+  EXPECT_EQ(r.informed_counts.back(), kN);
+}
+
+TEST(InformationSpread, CountsAreMonotone) {
+  constexpr std::uint32_t kN = 1024;
+  const auto pair = make_adversarial_pair(kN, 0.02, 5);
+  Network net(kN, 9);
+  const auto r = simulate_information_spread(net, pair.informative);
+  for (std::size_t i = 1; i < r.informed_counts.size(); ++i) {
+    EXPECT_GE(r.informed_counts[i], r.informed_counts[i - 1]);
+  }
+}
+
+TEST(InformationSpread, GrowthIsAtMostFourfold) {
+  // The Theorem 1.3 argument: |good_{i+1}| <= 4 |good_i| w.h.p. (each
+  // informed node converts at most one node by push, and pulls add at most
+  // |good|/n * n in expectation).
+  constexpr std::uint32_t kN = 1 << 15;
+  const auto pair = make_adversarial_pair(kN, 0.01, 11);
+  Network net(kN, 13);
+  const auto r = simulate_information_spread(net, pair.informative);
+  std::uint64_t prev = 2 * pair.shift + 1;
+  for (const std::uint64_t c : r.informed_counts) {
+    EXPECT_LE(c, 4 * prev + 10);
+    prev = c;
+  }
+}
+
+TEST(InformationSpread, RespectsTheoremLowerBound) {
+  // rounds-to-all must exceed log4(n / |S|), deterministically implied by
+  // the fourfold growth cap; the theory bound log4(8/eps) is its eps-form.
+  for (double eps : {0.01, 0.04}) {
+    constexpr std::uint32_t kN = 1 << 15;
+    const auto pair = make_adversarial_pair(kN, eps, 17);
+    Network net(kN, 19);
+    const auto r = simulate_information_spread(net, pair.informative);
+    ASSERT_TRUE(r.completed);
+    const double start =
+        static_cast<double>(2 * pair.shift + 1);
+    const double min_rounds =
+        std::log(static_cast<double>(kN) / start) / std::log(4.0);
+    EXPECT_GE(static_cast<double>(r.rounds_to_all), std::floor(min_rounds))
+        << "eps=" << eps;
+  }
+}
+
+TEST(InformationSpread, SmallerEpsTakesLonger) {
+  constexpr std::uint32_t kN = 1 << 15;
+  const auto wide = make_adversarial_pair(kN, 0.1, 23);
+  const auto narrow = make_adversarial_pair(kN, 0.001, 23);
+  Network net_w(kN, 29), net_n(kN, 29);
+  const auto r_wide = simulate_information_spread(net_w, wide.informative);
+  const auto r_narrow =
+      simulate_information_spread(net_n, narrow.informative);
+  EXPECT_LT(r_wide.rounds_to_all, r_narrow.rounds_to_all);
+}
+
+TEST(InformationSpread, RejectsEmptyInformedSet) {
+  Network net(64, 1);
+  EXPECT_THROW((void)simulate_information_spread(
+                   net, std::vector<bool>(64, false)),
+               std::invalid_argument);
+}
+
+TEST(InformationSpread, DoublyExponentialTail) {
+  // Once half the nodes are informed, the uninformed fraction should
+  // square (up to the e^-1 factor) each round: the loglog n part of the
+  // bound.  Check the tail shrinks superlinearly.
+  constexpr std::uint32_t kN = 1 << 16;
+  const auto pair = make_adversarial_pair(kN, 0.05, 31);
+  Network net(kN, 37);
+  const auto r = simulate_information_spread(net, pair.informative);
+  ASSERT_TRUE(r.completed);
+  // Find the first round with >= half informed.
+  std::size_t half_at = 0;
+  while (half_at < r.informed_counts.size() &&
+         r.informed_counts[half_at] < kN / 2) {
+    ++half_at;
+  }
+  ASSERT_LT(half_at, r.informed_counts.size());
+  const std::uint64_t tail_rounds =
+      r.informed_counts.size() - half_at;  // rounds from half to all
+  // For n = 2^16 the doubly-exponential phase takes ~lg lg n + O(1)
+  // rounds; assert a generous cap far below any linear behaviour.
+  EXPECT_LE(tail_rounds, 12u);
+}
+
+}  // namespace
+}  // namespace gq

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "core/multi_quantile.hpp"
+#include "sim/trace.hpp"
+#include "workload/distributions.hpp"
+#include "workload/scenario.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+TEST(MultiQuantile, AllTargetsWithinEps) {
+  constexpr std::uint32_t kN = 1 << 13;
+  const auto values = make_latency_trace(kN, 3);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 5);
+  MultiQuantileParams params;
+  params.phis = {0.25, 0.5, 0.75, 0.9};
+  params.eps = 0.12;
+  const auto r = multi_quantile(net, values, params);
+  ASSERT_EQ(r.per_phi.size(), 4u);
+  for (std::size_t i = 0; i < params.phis.size(); ++i) {
+    const auto s = evaluate_outputs(scale, r.per_phi[i].outputs,
+                                    params.phis[i], params.eps);
+    EXPECT_GE(s.frac_within_eps, 0.99) << "phi=" << params.phis[i];
+  }
+}
+
+TEST(MultiQuantile, RoundsAreSumOfRuns) {
+  constexpr std::uint32_t kN = 4096;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 7);
+  Network net(kN, 9);
+  MultiQuantileParams params;
+  params.phis = {0.1, 0.5, 0.9};
+  params.eps = 0.15;
+  const auto r = multi_quantile(net, values, params);
+  std::uint64_t sum = 0;
+  for (const auto& run : r.per_phi) sum += run.rounds;
+  EXPECT_EQ(r.rounds, sum);
+  EXPECT_EQ(r.rounds, net.metrics().rounds);
+}
+
+TEST(MultiQuantile, OutputsAreMonotoneAcrossTargetsPerNode) {
+  // For a fixed node, the values learned for increasing phis must be
+  // non-decreasing up to the eps windows: check with a 2*eps margin in
+  // rank space.
+  constexpr std::uint32_t kN = 1 << 13;
+  const auto values = generate_values(Distribution::kExponential, kN, 11);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 13);
+  MultiQuantileParams params;
+  params.phis = {0.2, 0.5, 0.8};
+  params.eps = 0.1;
+  const auto r = multi_quantile(net, values, params);
+  std::size_t violations = 0;
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    for (std::size_t i = 0; i + 1 < params.phis.size(); ++i) {
+      const double qa = scale.quantile_of(r.per_phi[i].outputs[v]);
+      const double qb = scale.quantile_of(r.per_phi[i + 1].outputs[v]);
+      if (qb < qa - 2 * params.eps) ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(MultiQuantile, ValueAccessor) {
+  constexpr std::uint32_t kN = 1024;
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, kN, 17);
+  Network net(kN, 19);
+  MultiQuantileParams params;
+  params.phis = {0.5};
+  params.eps = 0.25;
+  const auto r = multi_quantile(net, values, params);
+  EXPECT_EQ(r.value(0, 3), r.per_phi[0].outputs[3].value);
+  EXPECT_THROW((void)r.value(1, 0), std::out_of_range);
+}
+
+TEST(MultiQuantile, RejectsBadTargets) {
+  Network net(64, 1);
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, 64, 1);
+  MultiQuantileParams params;
+  EXPECT_THROW((void)multi_quantile(net, values, params),
+               std::invalid_argument);  // empty phis
+  params.phis = {0.5, 1.2};
+  EXPECT_THROW((void)multi_quantile(net, values, params),
+               std::invalid_argument);
+}
+
+TEST(Trace, RecordsAndFiltersSeries) {
+  TraceRecorder rec;
+  rec.record("a", 1, 0.5);
+  rec.record("b", 1, 1.5);
+  rec.record("a", 2, 0.25);
+  EXPECT_EQ(rec.size(), 3u);
+  const auto a = rec.series("a");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].round, 2u);
+  EXPECT_EQ(a[1].value, 0.25);
+  EXPECT_TRUE(rec.series("missing").empty());
+}
+
+TEST(Trace, CsvRoundTrip) {
+  TraceRecorder rec;
+  rec.record("tail", 3, 0.125);
+  const std::string csv = rec.to_csv();
+  EXPECT_EQ(csv, "series,round,value\ntail,3,0.125\n");
+}
+
+TEST(Trace, WriteCsvToDisk) {
+  TraceRecorder rec;
+  rec.record("x", 1, 2.0);
+  const std::string path = "/tmp/gq_trace_test.csv";
+  ASSERT_TRUE(rec.write_csv(path));
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "series,round,value");
+}
+
+}  // namespace
+}  // namespace gq

@@ -1,0 +1,193 @@
+// Property-based tests: invariants that must hold for any input, phi, eps
+// and seed.  Parameterized sweeps stand in for a fuzzing harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/exact_quantile.hpp"
+#include "util/rng.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+// Comparison-based protocols commute with strictly increasing transforms:
+// running on f(x) with the same seed yields f(output).
+TEST(Properties, ApproxCommutesWithMonotoneTransform) {
+  constexpr std::uint32_t kN = 2048;
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, kN, 7);
+  std::vector<double> transformed(values.size());
+  // Affine map with exact binary representation: no FP reordering.
+  std::transform(values.begin(), values.end(), transformed.begin(),
+                 [](double x) { return 2.0 * x + 10.0; });
+
+  ApproxQuantileParams params;
+  params.phi = 0.3;
+  params.eps = 0.15;
+  Network a(kN, 9), b(kN, 9);
+  const auto r_orig = approx_quantile(a, values, params);
+  const auto r_tran = approx_quantile(b, transformed, params);
+  ASSERT_EQ(r_orig.outputs.size(), r_tran.outputs.size());
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    EXPECT_EQ(r_tran.outputs[v].value, 2.0 * r_orig.outputs[v].value + 10.0);
+    EXPECT_EQ(r_tran.outputs[v].id, r_orig.outputs[v].id);
+  }
+}
+
+TEST(Properties, ExactCommutesWithMonotoneTransform) {
+  constexpr std::uint32_t kN = 512;
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, kN, 11);
+  std::vector<double> transformed(values.size());
+  std::transform(values.begin(), values.end(), transformed.begin(),
+                 [](double x) { return 0.5 * x - 3.0; });
+  ExactQuantileParams params;
+  params.phi = 0.7;
+  Network a(kN, 13), b(kN, 13);
+  const auto r_orig = exact_quantile(a, values, params);
+  const auto r_tran = exact_quantile(b, transformed, params);
+  EXPECT_EQ(r_tran.answer.value, 0.5 * r_orig.answer.value - 3.0);
+}
+
+// The exact answer is a property of the value multiset, not of which node
+// holds which value.
+TEST(Properties, ExactAnswerInvariantUnderNodeReassignment) {
+  constexpr std::uint32_t kN = 512;
+  auto values = generate_values(Distribution::kGaussian, kN, 17);
+  ExactQuantileParams params;
+  params.phi = 0.25;
+
+  Network a(kN, 19);
+  const auto r1 = exact_quantile(a, values, params);
+
+  // Rotate the assignment: node v now holds the value of node v+37.
+  std::rotate(values.begin(), values.begin() + 37, values.end());
+  Network b(kN, 19);
+  const auto r2 = exact_quantile(b, values, params);
+  EXPECT_EQ(r1.answer.value, r2.answer.value);
+}
+
+// phi = 0 and phi = 1 are min/max selections for any distribution.
+class ExtremesAreMinMax : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(ExtremesAreMinMax, MinAndMax) {
+  constexpr std::uint32_t kN = 256;
+  const auto values = generate_values(GetParam(), kN, 23);
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+
+  ExactQuantileParams params;
+  params.phi = 0.0;
+  Network a(kN, 29);
+  EXPECT_EQ(exact_quantile(a, values, params).answer.value, lo);
+  params.phi = 1.0;
+  Network b(kN, 31);
+  EXPECT_EQ(exact_quantile(b, values, params).answer.value, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, ExtremesAreMinMax,
+                         ::testing::Values(Distribution::kUniformReal,
+                                           Distribution::kZipf,
+                                           Distribution::kBimodal,
+                                           Distribution::kClustered),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+// Randomized configuration fuzz: any (phi, eps, seed) above the floor must
+// keep nearly every node inside the eps window.
+TEST(Properties, RandomConfigurationsStayWithinWindow) {
+  constexpr std::uint32_t kN = 4096;
+  const double floor_eps = eps_tournament_floor(kN);
+  Rng rng(12345);
+  for (int trial = 0; trial < 12; ++trial) {
+    const double phi = rand_double(rng);
+    const double eps = floor_eps + rand_double(rng) * (0.3 - floor_eps);
+    const auto dist =
+        all_distributions()[rand_index(rng, all_distributions().size())];
+    const auto values = generate_values(dist, kN, 1000 + trial);
+    const auto keys = make_keys(values);
+    const RankScale scale(keys);
+
+    Network net(kN, 2000 + trial);
+    ApproxQuantileParams params;
+    params.phi = phi;
+    params.eps = eps;
+    const auto r = approx_quantile(net, values, params);
+    const auto summary = evaluate_outputs(scale, r.outputs, phi, eps);
+    EXPECT_GE(summary.frac_within_eps, 0.99)
+        << "trial=" << trial << " dist=" << to_string(dist)
+        << " phi=" << phi << " eps=" << eps;
+  }
+}
+
+// Exact computation across many seeds: the w.h.p. guarantee plus
+// verification-retry must give 100% success.
+TEST(Properties, ExactIsAlwaysExactAcrossSeeds) {
+  constexpr std::uint32_t kN = 512;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 3);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+  ExactQuantileParams params;
+  params.phi = 0.5;
+  const Key truth = scale.exact_quantile(0.5);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Network net(kN, seed);
+    const auto r = exact_quantile(net, values, params);
+    EXPECT_EQ(r.answer.value, truth.value) << "seed=" << seed;
+  }
+}
+
+// Approximate outputs must always be actual input values (the protocol
+// only ever copies values, never fabricates them).
+TEST(Properties, OutputsAreAlwaysInputMembers) {
+  constexpr std::uint32_t kN = 2048;
+  for (auto dist : {Distribution::kClustered, Distribution::kConstant,
+                    Distribution::kSortedAscending}) {
+    const auto values = generate_values(dist, kN, 41);
+    const auto keys = make_keys(values);
+    std::vector<Key> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    Network net(kN, 47);
+    ApproxQuantileParams params;
+    params.phi = 0.6;
+    params.eps = 0.15;
+    const auto r = approx_quantile(net, values, params);
+    for (const Key& k : r.outputs) {
+      EXPECT_TRUE(std::binary_search(sorted.begin(), sorted.end(), k))
+          << to_string(dist);
+    }
+  }
+}
+
+// Rank windows clamp correctly at the boundaries: a phi=0 query's outputs
+// must be among the eps*n smallest values.
+TEST(Properties, BoundaryQuantileStaysInBottomWindow) {
+  constexpr std::uint32_t kN = 4096;
+  const double eps = 0.13;
+  const auto values = generate_values(Distribution::kExponential, kN, 53);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 59);
+  ApproxQuantileParams params;
+  params.phi = 0.0;
+  params.eps = eps;
+  const auto r = approx_quantile(net, values, params);
+  std::size_t ok = 0;
+  for (const Key& k : r.outputs) {
+    ok += (static_cast<double>(scale.rank(k)) <= (eps * kN) + 1) ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(ok) / kN, 0.99);
+}
+
+}  // namespace
+}  // namespace gq

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/robust.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+std::size_t count_true(const std::vector<bool>& v) {
+  return static_cast<std::size_t>(std::count(v.begin(), v.end(), true));
+}
+
+TEST(RobustTwoTournament, KeepsConstantFractionGood) {
+  constexpr std::uint32_t kN = 4096;
+  Network net(kN, 5, FailureModel::uniform(0.3));
+  auto state =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 1));
+  std::vector<bool> good(kN, true);
+  const auto outcome = robust_two_tournament(net, state, good, 0.25, 0.15);
+  EXPECT_GT(outcome.pulls_per_iteration, 2u);
+  // Lemma 5.2: at least a constant fraction stays good (n/2 in the lemma;
+  // assert n/3 to absorb constants).
+  EXPECT_GE(count_true(good), kN / 3);
+}
+
+TEST(RobustTwoTournament, ZeroFailureMatchesPullFloor) {
+  constexpr std::uint32_t kN = 512;
+  Network net(kN, 7);  // no failures
+  auto state =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 2));
+  std::vector<bool> good(kN, true);
+  const auto outcome = robust_two_tournament(net, state, good, 0.25, 0.15);
+  // mu = 0: still needs >= 2 pulls but the fan-out collapses to a constant.
+  EXPECT_GE(outcome.pulls_per_iteration, 2u);
+  EXPECT_LE(outcome.pulls_per_iteration, 8u);
+  EXPECT_EQ(count_true(good), kN);  // nothing fails, nobody turns bad
+}
+
+TEST(RobustThreeTournament, ProducesValidOutputs) {
+  constexpr std::uint32_t kN = 4096;
+  const auto keys =
+      make_keys(generate_values(Distribution::kGaussian, kN, 3));
+  const RankScale scale(keys);
+  Network net(kN, 9, FailureModel::uniform(0.25));
+  std::vector<Key> state(keys.begin(), keys.end());
+  std::vector<bool> good(kN, true);
+  const auto outcome = robust_three_tournament(net, state, good, 0.05, 15);
+  const std::size_t valid = count_true(outcome.valid);
+  EXPECT_GE(valid, kN / 3);
+  // Valid outputs concentrate near the median.
+  std::size_t ok = 0, total = 0;
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    if (!outcome.valid[v]) continue;
+    ++total;
+    ok += scale.within_eps(outcome.outputs[v], 0.5, 0.2) ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(ok) / static_cast<double>(total), 0.95);
+}
+
+TEST(RobustCoverage, ServesAlmostEveryone) {
+  constexpr std::uint32_t kN = 2048;
+  Network net(kN, 11, FailureModel::uniform(0.2));
+  // Half the nodes start served with a marker key.
+  std::vector<Key> outputs(kN, Key::infinite());
+  std::vector<bool> valid(kN, false);
+  for (std::uint32_t v = 0; v < kN; v += 2) {
+    outputs[v] = Key{1.0, 1, 0};
+    valid[v] = true;
+  }
+  const std::uint64_t used = robust_coverage(net, outputs, valid, 12);
+  EXPECT_LE(used, 12u);
+  // Theorem 1.4 tail: all but ~n/2^t nodes; t=12 leaves about n/4096 < 4
+  // expected, assert a loose 1%.
+  EXPECT_GE(count_true(valid), kN - kN / 100);
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    if (valid[v]) {
+      EXPECT_EQ(outputs[v].value, 1.0);
+    }
+  }
+}
+
+TEST(RobustCoverage, StopsEarlyWhenAllServed) {
+  constexpr std::uint32_t kN = 128;
+  Network net(kN, 13);
+  std::vector<Key> outputs(kN, Key{2.0, 0, 0});
+  std::vector<bool> valid(kN, true);
+  const std::uint64_t used = robust_coverage(net, outputs, valid, 50);
+  EXPECT_EQ(used, 0u);
+}
+
+class RobustPipeline : public ::testing::TestWithParam<double /*mu*/> {};
+
+TEST_P(RobustPipeline, ApproxQuantileUnderFailures) {
+  const double mu = GetParam();
+  constexpr std::uint32_t kN = 1 << 13;
+  const double eps = 0.12;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 7);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 101, FailureModel::uniform(mu));
+  ApproxQuantileParams params;
+  params.phi = 0.25;
+  params.eps = eps;
+  params.robust_coverage_rounds = 14;
+  const auto r = approx_quantile(net, values, params);
+
+  // Theorem 1.4: all but ~n/2^t nodes served.
+  EXPECT_GE(r.served_nodes(), kN - kN / 64) << "mu=" << mu;
+  std::size_t ok = 0, total = 0;
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    if (!r.valid[v]) continue;
+    ++total;
+    ok += scale.within_eps(r.outputs[v], 0.25, eps) ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(ok) / static_cast<double>(total), 0.97)
+      << "mu=" << mu;
+}
+
+INSTANTIATE_TEST_SUITE_P(MuSweep, RobustPipeline,
+                         ::testing::Values(0.1, 0.3, 0.5),
+                         [](const auto& info) {
+                           return "mu" + std::to_string(static_cast<int>(
+                                             info.param * 100));
+                         });
+
+TEST(RobustPipeline, RoundsGrowWithMu) {
+  constexpr std::uint32_t kN = 2048;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 9);
+  ApproxQuantileParams params;
+  params.phi = 0.5;
+  params.eps = 0.15;
+
+  Network calm(kN, 55);
+  Network stormy(kN, 55, FailureModel::uniform(0.5));
+  const auto r_calm = approx_quantile(calm, values, params);
+  const auto r_stormy = approx_quantile(stormy, values, params);
+  // The robust variant pays a constant-factor fan-out, not an asymptotic
+  // penalty.
+  EXPECT_GT(r_stormy.rounds, r_calm.rounds);
+  EXPECT_LT(r_stormy.rounds, 40 * r_calm.rounds);
+}
+
+}  // namespace
+}  // namespace gq

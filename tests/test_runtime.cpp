@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "runtime/protocol.hpp"
+#include "wire/codec.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+// A trivial protocol that keeps the maximum payload it ever sees: the
+// max-spreading process, used to test runtime mechanics.
+class MaxProtocol final : public NodeProtocol {
+ public:
+  explicit MaxProtocol(const Key& initial) : state_(initial) {}
+  [[nodiscard]] Key exposed() const override { return state_; }
+  [[nodiscard]] bool wants_pull(std::uint64_t) const override { return true; }
+  void deliver(std::uint64_t, const Key& payload) override {
+    incoming_ = std::max(incoming_, payload);
+    got_ = true;
+  }
+  void finish_round(std::uint64_t) override {
+    if (got_) state_ = std::max(state_, incoming_);
+    got_ = false;
+    incoming_ = Key::neg_infinite();
+  }
+  [[nodiscard]] bool finished() const override { return false; }
+  [[nodiscard]] const Key& state() const { return state_; }
+
+ private:
+  Key state_;
+  Key incoming_ = Key::neg_infinite();
+  bool got_ = false;
+};
+
+std::vector<std::unique_ptr<NodeProtocol>> make_max_protocols(
+    std::span<const Key> keys) {
+  std::vector<std::unique_ptr<NodeProtocol>> out;
+  out.reserve(keys.size());
+  for (const Key& k : keys) out.push_back(std::make_unique<MaxProtocol>(k));
+  return out;
+}
+
+TEST(Runtime, SpreadsMaximumLikeTheAggPrimitive) {
+  constexpr std::uint32_t kN = 1024;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 3));
+  const Key truth = *std::max_element(keys.begin(), keys.end());
+
+  Network net(kN, 7);
+  auto protos = make_max_protocols(keys);
+  const auto r =
+      run_protocols(net, protos, 200, KeyCodec(kN).encoded_bits());
+  EXPECT_EQ(r.rounds, 200u);  // MaxProtocol never finishes on its own
+  for (const auto& p : protos) {
+    EXPECT_EQ(static_cast<MaxProtocol*>(p.get())->state(), truth);
+  }
+}
+
+TEST(Runtime, AccountsRoundsAndMessages) {
+  constexpr std::uint32_t kN = 64;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformPermutation, kN, 5));
+  Network net(kN, 9);
+  auto protos = make_max_protocols(keys);
+  const std::uint64_t bits = KeyCodec(kN).encoded_bits();
+  (void)run_protocols(net, protos, 10, bits);
+  EXPECT_EQ(net.metrics().rounds, 10u);
+  EXPECT_EQ(net.metrics().messages, 10u * kN);
+  EXPECT_EQ(net.metrics().max_message_bits, bits);
+}
+
+TEST(Runtime, StopsWhenAllProtocolsFinish) {
+  constexpr std::uint32_t kN = 256;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 11));
+  Network net(kN, 13);
+  std::vector<std::unique_ptr<NodeProtocol>> protos;
+  for (const Key& k : keys) {
+    protos.push_back(std::make_unique<MedianDynamicsProtocol>(k, 8));
+  }
+  const auto r =
+      run_protocols(net, protos, 1000, KeyCodec(kN).encoded_bits());
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_EQ(r.rounds, 16u);  // 8 iterations x 2 rounds, then all done
+}
+
+TEST(Runtime, MedianDynamicsConvergesToMedian) {
+  constexpr std::uint32_t kN = 1 << 13;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 17));
+  const RankScale scale(keys);
+
+  Network net(kN, 19);
+  std::vector<std::unique_ptr<NodeProtocol>> protos;
+  const std::uint64_t iterations = 52;  // 4 log2 n
+  for (const Key& k : keys) {
+    protos.push_back(std::make_unique<MedianDynamicsProtocol>(k, iterations));
+  }
+  const auto r =
+      run_protocols(net, protos, 10000, KeyCodec(kN).encoded_bits());
+  ASSERT_TRUE(r.all_finished);
+
+  std::vector<Key> outputs;
+  outputs.reserve(kN);
+  for (const auto& p : protos) {
+    outputs.push_back(
+        static_cast<MedianDynamicsProtocol*>(p.get())->state());
+  }
+  const auto s = evaluate_outputs(scale, outputs, 0.5, 0.05);
+  EXPECT_GE(s.frac_within_eps, 0.95);
+}
+
+TEST(Runtime, MedianDynamicsToleratesFailures) {
+  constexpr std::uint32_t kN = 4096;
+  const auto keys =
+      make_keys(generate_values(Distribution::kGaussian, kN, 23));
+  const RankScale scale(keys);
+
+  Network net(kN, 29, FailureModel::uniform(0.3));
+  std::vector<std::unique_ptr<NodeProtocol>> protos;
+  for (const Key& k : keys) {
+    protos.push_back(std::make_unique<MedianDynamicsProtocol>(k, 96));
+  }
+  const auto r =
+      run_protocols(net, protos, 10000, KeyCodec(kN).encoded_bits());
+  ASSERT_TRUE(r.all_finished);
+  std::vector<Key> outputs;
+  for (const auto& p : protos) {
+    outputs.push_back(
+        static_cast<MedianDynamicsProtocol*>(p.get())->state());
+  }
+  const auto s = evaluate_outputs(scale, outputs, 0.5, 0.1);
+  EXPECT_GE(s.frac_within_eps, 0.9);
+}
+
+TEST(Runtime, RejectsMismatchedSizes) {
+  Network net(8, 1);
+  std::vector<std::unique_ptr<NodeProtocol>> protos;  // empty
+  EXPECT_THROW((void)run_protocols(net, protos, 10, 32),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gq

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/failure_model.hpp"
+#include "sim/key.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+namespace {
+
+TEST(Key, OrderingIsLexicographic) {
+  const Key a{1.0, 0, 0};
+  const Key b{1.0, 1, 0};
+  const Key c{1.0, 1, 5};
+  const Key d{2.0, 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_TRUE(b.same_value(c));
+  EXPECT_FALSE(a.same_value(b));
+}
+
+TEST(Key, InfiniteSentinelsBracketEverything) {
+  const Key mid{1e300, 4000000000u, 9};
+  EXPECT_LT(mid, Key::infinite());
+  EXPECT_LT(Key::neg_infinite(), mid);
+  EXPECT_FALSE(Key::infinite().is_finite());
+  EXPECT_FALSE(Key::neg_infinite().is_finite());
+  EXPECT_TRUE(mid.is_finite());
+}
+
+TEST(KeyBits, GrowsLogarithmically) {
+  EXPECT_EQ(key_bits(2), 64u + 2u);
+  EXPECT_EQ(key_bits(1024), 64u + 20u);
+  EXPECT_LT(key_bits(1u << 20), 64u + 2 * 21u + 1);
+}
+
+TEST(Network, RejectsTrivialSizes) {
+  EXPECT_THROW(Network(0, 1), std::invalid_argument);
+  EXPECT_THROW(Network(1, 1), std::invalid_argument);
+  EXPECT_NO_THROW(Network(2, 1));
+}
+
+TEST(Network, RoundCounterAdvances) {
+  Network net(8, 1);
+  EXPECT_EQ(net.round(), 0u);
+  EXPECT_EQ(net.begin_round(), 1u);
+  EXPECT_EQ(net.begin_round(), 2u);
+  EXPECT_EQ(net.metrics().rounds, 2u);
+}
+
+TEST(Network, SamplePeerNeverReturnsSelf) {
+  Network net(16, 99);
+  for (int r = 0; r < 50; ++r) {
+    net.begin_round();
+    for (std::uint32_t v = 0; v < net.size(); ++v) {
+      SplitMix64 s = net.node_stream(v);
+      for (int i = 0; i < 4; ++i) {
+        const std::uint32_t p = net.sample_peer(v, s);
+        EXPECT_NE(p, v);
+        EXPECT_LT(p, net.size());
+      }
+    }
+  }
+}
+
+TEST(Network, PeerSamplingIsUniformOverOthers) {
+  constexpr std::uint32_t kN = 8;
+  Network net(kN, 5);
+  std::vector<int> counts(kN, 0);
+  constexpr int kRounds = 40000;
+  for (int r = 0; r < kRounds; ++r) {
+    net.begin_round();
+    SplitMix64 s = net.node_stream(0);
+    ++counts[net.sample_peer(0, s)];
+  }
+  EXPECT_EQ(counts[0], 0);  // never self
+  const double expected = static_cast<double>(kRounds) / (kN - 1);
+  for (std::uint32_t v = 1; v < kN; ++v) {
+    EXPECT_NEAR(counts[v], expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Network, SameSeedSameTranscript) {
+  const auto transcript = [](std::uint64_t seed) {
+    Network net(32, seed);
+    std::vector<std::uint32_t> t;
+    for (int r = 0; r < 20; ++r) {
+      auto peers = net.pull_round(16);
+      t.insert(t.end(), peers.begin(), peers.end());
+    }
+    return t;
+  };
+  EXPECT_EQ(transcript(7), transcript(7));
+  EXPECT_NE(transcript(7), transcript(8));
+}
+
+TEST(Network, NodeRandomnessIndependentOfQueryOrder) {
+  Network a(16, 3), b(16, 3);
+  a.begin_round();
+  b.begin_round();
+  // Query in opposite orders; per-node draws must agree.
+  std::vector<std::uint32_t> fwd(16), bwd(16);
+  for (std::uint32_t v = 0; v < 16; ++v) {
+    SplitMix64 s = a.node_stream(v);
+    fwd[v] = a.sample_peer(v, s);
+  }
+  for (int v = 15; v >= 0; --v) {
+    SplitMix64 s = b.node_stream(static_cast<std::uint32_t>(v));
+    bwd[v] = b.sample_peer(static_cast<std::uint32_t>(v), s);
+  }
+  EXPECT_EQ(fwd, bwd);
+}
+
+TEST(Network, PullRoundAccountsMessages) {
+  Network net(10, 2);
+  const auto peers = net.pull_round(24);
+  EXPECT_EQ(peers.size(), 10u);
+  EXPECT_EQ(net.metrics().messages, 10u);
+  EXPECT_EQ(net.metrics().message_bits, 240u);
+  EXPECT_EQ(net.metrics().max_message_bits, 24u);
+  EXPECT_EQ(net.metrics().failed_operations, 0u);
+}
+
+TEST(Network, DefaultMessageBitsIsLogarithmic) {
+  Network small(16, 1), big(1 << 20, 1);
+  EXPECT_EQ(small.default_message_bits(), 2 * 4u);
+  EXPECT_EQ(big.default_message_bits(), 2 * 20u);
+}
+
+TEST(FailureModel, NeverFailsByDefault) {
+  const FailureModel fm;
+  EXPECT_TRUE(fm.never_fails());
+  EXPECT_EQ(fm.probability(3, 17), 0.0);
+  EXPECT_EQ(fm.max_probability(), 0.0);
+}
+
+TEST(FailureModel, UniformRateIsObserved) {
+  Network net(64, 77, FailureModel::uniform(0.3));
+  std::uint64_t failures = 0, total = 0;
+  for (int r = 0; r < 300; ++r) {
+    const auto peers = net.pull_round(16);
+    for (auto p : peers) {
+      ++total;
+      failures += (p == Network::kNoPeer) ? 1 : 0;
+    }
+  }
+  const double rate = static_cast<double>(failures) / total;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+  EXPECT_EQ(net.metrics().failed_operations, failures);
+}
+
+TEST(FailureModel, PerNodeProbabilities) {
+  FailureModel fm = FailureModel::per_node({0.0, 0.9});
+  EXPECT_DOUBLE_EQ(fm.probability(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(fm.probability(1, 5), 0.9);
+  EXPECT_DOUBLE_EQ(fm.probability(2, 5), 0.0);  // out of range: safe
+  EXPECT_DOUBLE_EQ(fm.max_probability(), 0.9);
+}
+
+TEST(FailureModel, CustomSchedule) {
+  FailureModel fm = FailureModel::custom(
+      [](std::uint32_t v, std::uint64_t r) {
+        return (v == 0 && r < 10) ? 0.5 : 0.0;
+      },
+      0.5);
+  EXPECT_DOUBLE_EQ(fm.probability(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(fm.probability(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(fm.probability(1, 3), 0.0);
+}
+
+TEST(FailureModel, RejectsInvalidProbabilities) {
+  EXPECT_THROW((void)FailureModel::uniform(1.0), std::invalid_argument);
+  EXPECT_THROW((void)FailureModel::uniform(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)FailureModel::per_node({0.2, 1.5}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, SinceComputesDeltas) {
+  Metrics a;
+  a.rounds = 10;
+  a.messages = 100;
+  a.message_bits = 1600;
+  Metrics b = a;
+  b.rounds = 25;
+  b.messages = 180;
+  b.message_bits = 2800;
+  const Metrics d = b.since(a);
+  EXPECT_EQ(d.rounds, 15u);
+  EXPECT_EQ(d.messages, 80u);
+  EXPECT_EQ(d.message_bits, 1200u);
+}
+
+}  // namespace
+}  // namespace gq

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sketch/compactor.hpp"
+#include "sketch/kll.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+std::vector<Key> sequential_keys(std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<double>(i + 1);
+  return make_keys(xs);
+}
+
+TEST(Compactor, AddKeepsSortedOrder) {
+  CompactingBuffer buf(8);
+  const auto keys = sequential_keys(5);
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) buf.add(*it);
+  EXPECT_TRUE(std::is_sorted(buf.items().begin(), buf.items().end()));
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.weight(), 1u);
+}
+
+TEST(Compactor, MergeWithoutOverflowKeepsEverything) {
+  CompactingBuffer a(8), b(8);
+  const auto keys = sequential_keys(8);
+  for (int i = 0; i < 4; ++i) a.add(keys[i]);
+  for (int i = 4; i < 8; ++i) b.add(keys[i]);
+  const CompactingBuffer m = CompactingBuffer::merged(a, b, false);
+  EXPECT_EQ(m.size(), 8u);
+  EXPECT_EQ(m.weight(), 1u);
+  EXPECT_EQ(m.total_weight(), 8u);
+}
+
+TEST(Compactor, OverflowCompactsAndDoublesWeight) {
+  CompactingBuffer a(4), b(4);
+  const auto keys = sequential_keys(8);
+  for (int i = 0; i < 4; ++i) a.add(keys[i]);
+  for (int i = 4; i < 8; ++i) b.add(keys[i]);
+  const CompactingBuffer even = CompactingBuffer::merged(a, b, false);
+  EXPECT_EQ(even.size(), 4u);
+  EXPECT_EQ(even.weight(), 2u);
+  EXPECT_EQ(even.total_weight(), 8u);  // mass preserved
+  // Even 0-based positions of {1..8} are {1,3,5,7}.
+  EXPECT_EQ(even.items()[0].value, 1.0);
+  EXPECT_EQ(even.items()[3].value, 7.0);
+  const CompactingBuffer odd = CompactingBuffer::merged(a, b, true);
+  EXPECT_EQ(odd.items()[0].value, 2.0);
+  EXPECT_EQ(odd.items()[3].value, 8.0);
+}
+
+TEST(Compactor, RankErrorBoundedByLemmaA3) {
+  // One compaction may shift any weighted rank by at most the
+  // pre-compaction weight.
+  CompactingBuffer a(6), b(6);
+  const auto keys = sequential_keys(12);
+  for (int i = 0; i < 6; ++i) a.add(keys[i]);
+  for (int i = 6; i < 12; ++i) b.add(keys[i]);
+  const CompactingBuffer m = CompactingBuffer::merged(a, b, false);
+  for (const Key& q : keys) {
+    const auto true_rank = static_cast<std::uint64_t>(q.value);
+    const std::uint64_t est = m.weighted_rank(q);
+    EXPECT_LE(est > true_rank ? est - true_rank : true_rank - est, 1u)
+        << "query " << q.value;
+  }
+}
+
+TEST(Compactor, MergedRequiresEqualWeights) {
+  CompactingBuffer a(2), b(2), c(2);
+  const auto keys = sequential_keys(6);
+  a.add(keys[0]);
+  a.add(keys[1]);
+  b.add(keys[2]);
+  b.add(keys[3]);
+  const CompactingBuffer heavy = CompactingBuffer::merged(a, b, false);
+  c.add(keys[4]);
+  EXPECT_EQ(heavy.weight(), 2u);
+  EXPECT_THROW((void)CompactingBuffer::merged(heavy, c, false),
+               std::invalid_argument);
+}
+
+TEST(Compactor, QuantileNearestRank) {
+  CompactingBuffer buf(8);
+  const auto keys = sequential_keys(5);
+  for (const Key& k : keys) buf.add(k);
+  EXPECT_EQ(buf.quantile(0.5).value, 3.0);
+  EXPECT_EQ(buf.quantile(0.0).value, 1.0);
+  EXPECT_EQ(buf.quantile(1.0).value, 5.0);
+}
+
+TEST(Kll, RejectsTinyK) {
+  EXPECT_THROW(KllSketch(4), std::invalid_argument);
+}
+
+TEST(Kll, ExactForSmallStreams) {
+  KllSketch sk(64);
+  const auto keys = sequential_keys(50);
+  for (const Key& k : keys) sk.insert(k);
+  EXPECT_EQ(sk.count(), 50u);
+  for (const Key& q : keys) {
+    EXPECT_EQ(sk.rank(q), static_cast<std::uint64_t>(q.value));
+  }
+}
+
+TEST(Kll, SpaceStaysNearK) {
+  KllSketch sk(64);
+  const auto keys = sequential_keys(100000);
+  for (const Key& k : keys) sk.insert(k);
+  EXPECT_LE(sk.space(), 64u * 5);  // O(k) across all levels
+}
+
+class KllErrorTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(KllErrorTest, RankErrorIsSmall) {
+  constexpr std::size_t kN = 50000;
+  const auto xs = generate_values(GetParam(), kN, 77);
+  const auto keys = make_keys(xs);
+  KllSketch sk(256, 5);
+  for (const Key& k : keys) sk.insert(k);
+
+  std::vector<Key> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  double max_rel_err = 0.0;
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const auto idx = static_cast<std::size_t>(q * (kN - 1));
+    const Key& query = sorted[idx];
+    const double est = static_cast<double>(sk.rank(query));
+    const double truth = static_cast<double>(idx + 1);
+    max_rel_err =
+        std::max(max_rel_err, std::abs(est - truth) / static_cast<double>(kN));
+  }
+  // Standard KLL guarantee is O(1/k); allow 3/k here.
+  EXPECT_LE(max_rel_err, 3.0 / 256);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, KllErrorTest,
+                         ::testing::Values(Distribution::kUniformReal,
+                                           Distribution::kGaussian,
+                                           Distribution::kExponential,
+                                           Distribution::kZipf),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Kll, MergePreservesCountAndAccuracy) {
+  constexpr std::size_t kN = 20000;
+  const auto keys = sequential_keys(kN);
+  KllSketch left(128, 1), right(128, 2);
+  for (std::size_t i = 0; i < kN; ++i) {
+    (i % 2 == 0 ? left : right).insert(keys[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), kN);
+  const std::uint64_t mid = left.rank(keys[kN / 2 - 1]);
+  EXPECT_NEAR(static_cast<double>(mid), kN / 2.0, kN * 3.0 / 128);
+}
+
+TEST(Kll, MergeRequiresSameK) {
+  KllSketch a(64), b(128);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Kll, QuantileMatchesRank) {
+  constexpr std::size_t kN = 10000;
+  const auto keys = sequential_keys(kN);
+  KllSketch sk(256, 9);
+  for (const Key& k : keys) sk.insert(k);
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const Key q = sk.quantile(phi);
+    EXPECT_NEAR(q.value / static_cast<double>(kN), phi, 3.0 / 256 + 0.001);
+  }
+}
+
+TEST(Kll, MessageBitsScaleWithSpace) {
+  KllSketch sk(64);
+  const auto keys = sequential_keys(4000);
+  for (const Key& k : keys) sk.insert(k);
+  EXPECT_GE(sk.message_bits(4096), sk.space() * key_bits(4096));
+}
+
+TEST(Kll, EmptyQuantileThrows) {
+  KllSketch sk(64);
+  EXPECT_THROW((void)sk.quantile(0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gq

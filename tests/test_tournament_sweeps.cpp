@@ -1,0 +1,110 @@
+// Parameterized sweeps over eps for both tournament phases: schedule
+// execution, accuracy, and cost all at once.  Complements the targeted
+// tests in test_two_tournament / test_three_tournament.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/rank_stats.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/three_tournament.hpp"
+#include "core/two_tournament.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+class EpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsSweep, PhaseOneTailLandsOnTarget) {
+  const double eps = GetParam();
+  constexpr std::uint32_t kN = 1 << 14;
+  const double phi = 0.3;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 1234));
+  const RankScale scale(keys);
+
+  Network net(kN, 4321);
+  std::vector<Key> state(keys.begin(), keys.end());
+  const auto outcome = two_tournament(net, state, phi, eps);
+
+  std::size_t high = 0;
+  for (const Key& k : state) {
+    if (scale.quantile_of(k) > phi + eps) ++high;
+  }
+  const double measured = static_cast<double>(high) / kN;
+  EXPECT_NEAR(measured, 0.5 - eps, eps) << "eps=" << eps;
+  EXPECT_LE(static_cast<double>(outcome.iterations),
+            phase1_iteration_bound(eps) + 1.0);
+}
+
+TEST_P(EpsSweep, PhaseTwoOutputsNearMedian) {
+  const double eps = GetParam();
+  constexpr std::uint32_t kN = 1 << 14;
+  const auto keys =
+      make_keys(generate_values(Distribution::kExponential, kN, 2345));
+  const RankScale scale(keys);
+
+  Network net(kN, 5432);
+  std::vector<Key> state(keys.begin(), keys.end());
+  const auto outcome = three_tournament(net, state, eps, 15);
+  const auto s = evaluate_outputs(scale, outcome.outputs, 0.5, eps);
+  EXPECT_GE(s.frac_within_eps, 0.99) << "eps=" << eps;
+  EXPECT_LE(static_cast<double>(outcome.iterations),
+            phase2_iteration_bound(eps, kN) + 2.0);
+}
+
+TEST_P(EpsSweep, PipelineCostMatchesIterationBudget) {
+  const double eps = GetParam();
+  constexpr std::uint32_t kN = 1 << 14;
+  if (eps < eps_tournament_floor(kN)) GTEST_SKIP() << "below floor";
+  const auto values = generate_values(Distribution::kGaussian, kN, 3456);
+
+  Network net(kN, 6543);
+  ApproxQuantileParams params;
+  params.phi = 0.4;
+  params.eps = eps;
+  const auto r = approx_quantile(net, values, params);
+  // 2 rounds per phase-1 iteration, 3 per phase-2, K final samples.
+  const std::uint64_t expected = 2 * r.phase1_iterations +
+                                 3 * r.phase2_iterations +
+                                 (params.final_sample_size | 1u);
+  EXPECT_EQ(r.rounds, expected) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, EpsSweep,
+                         ::testing::Values(0.08, 0.1, 0.125, 0.15, 0.2, 0.25,
+                                           0.3, 0.4),
+                         [](const auto& info) {
+                           return "eps" + std::to_string(static_cast<int>(
+                                              info.param * 1000));
+                         });
+
+class PhiSweepApprox : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhiSweepApprox, DensePhiGridAllWithinWindow) {
+  const double phi = GetParam() / 16.0;
+  constexpr std::uint32_t kN = 1 << 13;
+  const double eps = 0.12;
+  const auto values = generate_values(Distribution::kZipf, kN, 7890);
+  const auto keys = make_keys(values);
+  const RankScale scale(keys);
+
+  Network net(kN, 8000 + GetParam());
+  ApproxQuantileParams params;
+  params.phi = phi;
+  params.eps = eps;
+  const auto r = approx_quantile(net, values, params);
+  const auto s = evaluate_outputs(scale, r.outputs, phi, eps);
+  EXPECT_GE(s.frac_within_eps, 0.99) << "phi=" << phi;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PhiSweepApprox, ::testing::Range(0, 17),
+                         [](const auto& info) {
+                           return "phi" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gq

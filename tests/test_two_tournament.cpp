@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/rank_stats.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "core/two_tournament.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+// Fraction of `state` whose ORIGINAL quantile exceeds phi + eps (the H set).
+double high_fraction(const RankScale& scale, std::span<const Key> state,
+                     double phi, double eps) {
+  std::size_t h = 0;
+  for (const Key& k : state) {
+    if (scale.quantile_of(k) > phi + eps) ++h;
+  }
+  return static_cast<double>(h) / static_cast<double>(state.size());
+}
+
+double low_fraction(const RankScale& scale, std::span<const Key> state,
+                    double phi, double eps) {
+  std::size_t l = 0;
+  for (const Key& k : state) {
+    if (scale.quantile_of(k) < phi - eps) ++l;
+  }
+  return static_cast<double>(l) / static_cast<double>(state.size());
+}
+
+TEST(TournamentSide, PicksDominantTail) {
+  // phi = 0.25: 70% of mass lies above phi+eps -> suppress the high side.
+  EXPECT_EQ(tournament_side(0.25, 0.05).first,
+            TournamentSide::kSuppressHigh);
+  // phi = 0.9: low side dominates.
+  EXPECT_EQ(tournament_side(0.9, 0.05).first, TournamentSide::kSuppressLow);
+  // Symmetric median target: high side by tie-break (h0 == l0).
+  EXPECT_EQ(tournament_side(0.5, 0.1).first, TournamentSide::kSuppressHigh);
+}
+
+TEST(TournamentSide, InitialFractionClamped) {
+  const auto [side, start] = tournament_side(0.02, 0.1);
+  EXPECT_EQ(side, TournamentSide::kSuppressHigh);
+  EXPECT_DOUBLE_EQ(start, 1.0 - 0.12);
+  const auto [side2, start2] = tournament_side(1.0, 0.1);
+  EXPECT_EQ(side2, TournamentSide::kSuppressLow);
+  EXPECT_DOUBLE_EQ(start2, 0.9);
+}
+
+TEST(TwoTournament, IterationsMatchSchedule) {
+  constexpr std::uint32_t kN = 2048;
+  Network net(kN, 5);
+  auto state =
+      make_keys(generate_values(Distribution::kUniformPermutation, kN, 1));
+  const double phi = 0.25, eps = 0.1;
+  const auto outcome = two_tournament(net, state, phi, eps);
+  EXPECT_EQ(outcome.iterations, outcome.schedule.iterations());
+  EXPECT_LE(static_cast<double>(outcome.iterations),
+            phase1_iteration_bound(eps) + 1.0);
+  // Two rounds per iteration.
+  EXPECT_EQ(net.metrics().rounds, 2 * outcome.iterations);
+}
+
+TEST(TwoTournament, DrivesHighFractionToTarget) {
+  constexpr std::uint32_t kN = 1 << 14;
+  const double phi = 0.25, eps = 0.1;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 3));
+  const RankScale scale(keys);
+
+  Network net(kN, 11);
+  std::vector<Key> state(keys.begin(), keys.end());
+  two_tournament(net, state, phi, eps);
+
+  // Lemma 2.6: |H_t|/n in T +- eps/2 with T = 1/2 - eps; allow eps slop.
+  const double h = high_fraction(scale, state, phi, eps);
+  EXPECT_NEAR(h, 0.5 - eps, eps);
+  // Lemma 2.10: the middle band survives with |M_t|/n >= 7eps/4 (allow
+  // slack down to eps).
+  const double m = 1.0 - h - low_fraction(scale, state, phi, eps);
+  EXPECT_GE(m, eps);
+}
+
+TEST(TwoTournament, ShiftsTargetWindowOntoMedian) {
+  // Lemma 2.11: after Phase I, every quantile of the NEW configuration in
+  // [1/2 - eps/4, 1/2 + eps/4] is a value from the original
+  // [phi - eps, phi + eps] window.
+  constexpr std::uint32_t kN = 1 << 14;
+  const double phi = 0.3, eps = 0.08;
+  const auto keys =
+      make_keys(generate_values(Distribution::kGaussian, kN, 17));
+  const RankScale scale(keys);
+
+  Network net(kN, 23);
+  std::vector<Key> state(keys.begin(), keys.end());
+  two_tournament(net, state, phi, eps);
+
+  const RankScale after(state);
+  for (double q : {0.5 - eps / 4.0, 0.5, 0.5 + eps / 4.0}) {
+    const Key& mid = after.exact_quantile(q);
+    EXPECT_TRUE(scale.within_eps(mid, phi, eps))
+        << "new-config quantile " << q << " maps to original quantile "
+        << scale.quantile_of(mid);
+  }
+}
+
+TEST(TwoTournament, LowSideSymmetric) {
+  constexpr std::uint32_t kN = 1 << 13;
+  const double phi = 0.85, eps = 0.1;
+  const auto keys =
+      make_keys(generate_values(Distribution::kExponential, kN, 29));
+  const RankScale scale(keys);
+
+  Network net(kN, 31);
+  std::vector<Key> state(keys.begin(), keys.end());
+  const auto outcome = two_tournament(net, state, phi, eps);
+  EXPECT_EQ(outcome.side, TournamentSide::kSuppressLow);
+  EXPECT_NEAR(low_fraction(scale, state, phi, eps), 0.5 - eps, eps);
+}
+
+TEST(TwoTournament, ObserverSeesEveryIteration) {
+  constexpr std::uint32_t kN = 512;
+  Network net(kN, 7);
+  auto state =
+      make_keys(generate_values(Distribution::kUniformPermutation, kN, 2));
+  std::vector<std::size_t> seen;
+  const auto outcome = two_tournament(
+      net, state, 0.25, 0.15, true,
+      [&](std::size_t iter, std::span<const Key> s) {
+        seen.push_back(iter);
+        EXPECT_EQ(s.size(), kN);
+      });
+  ASSERT_EQ(seen.size(), outcome.iterations);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(TwoTournament, TruncationAblationOvershoots) {
+  // Without the delta coin the final iteration squares h all the way past
+  // the target, leaving fewer high-side survivors than the truncated run.
+  constexpr std::uint32_t kN = 1 << 14;
+  const double phi = 0.25, eps = 0.1;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 41));
+  const RankScale scale(keys);
+
+  Network net_trunc(kN, 43), net_plain(kN, 43);
+  std::vector<Key> s_trunc(keys.begin(), keys.end());
+  std::vector<Key> s_plain(keys.begin(), keys.end());
+  two_tournament(net_trunc, s_trunc, phi, eps, true);
+  two_tournament(net_plain, s_plain, phi, eps, false);
+
+  const double h_trunc = high_fraction(scale, s_trunc, phi, eps);
+  const double h_plain = high_fraction(scale, s_plain, phi, eps);
+  EXPECT_LT(h_plain, h_trunc);
+  EXPECT_LT(h_plain, 0.5 - 1.5 * eps);  // overshoot past T
+}
+
+TEST(TwoTournament, NoIterationsWhenTargetIsMedianish) {
+  // phi = 0.5, large eps: h0 = 1/2 - eps <= T, schedule empty.
+  constexpr std::uint32_t kN = 256;
+  Network net(kN, 3);
+  auto state =
+      make_keys(generate_values(Distribution::kUniformPermutation, kN, 9));
+  const auto before = state;
+  const auto outcome = two_tournament(net, state, 0.5, 0.2);
+  EXPECT_EQ(outcome.iterations, 0u);
+  EXPECT_EQ(state, before);
+  EXPECT_EQ(net.metrics().rounds, 0u);
+}
+
+TEST(TwoTournament, RejectsInvalidArguments) {
+  Network net(64, 1);
+  auto state =
+      make_keys(generate_values(Distribution::kUniformPermutation, 64, 1));
+  EXPECT_THROW((void)two_tournament(net, state, -0.1, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)two_tournament(net, state, 0.5, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)two_tournament(net, state, 0.5, 0.5),
+               std::invalid_argument);
+  std::vector<Key> short_state(32);
+  EXPECT_THROW((void)two_tournament(net, short_state, 0.5, 0.1),
+               std::invalid_argument);
+}
+
+TEST(TwoTournament, RefusesFailureModel) {
+  Network net(64, 1, FailureModel::uniform(0.2));
+  auto state =
+      make_keys(generate_values(Distribution::kUniformPermutation, 64, 1));
+  EXPECT_THROW((void)two_tournament(net, state, 0.25, 0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gq

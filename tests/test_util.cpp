@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace gq {
+namespace {
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitMix64DiffersAcrossSeeds) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, XoshiroIsDeterministic) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, RandIndexStaysInBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(rand_index(rng, bound), bound);
+    }
+  }
+}
+
+TEST(Rng, RandIndexIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rand_index(rng, kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, RandDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rand_double(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rand_bernoulli(rng, 0.0));
+    EXPECT_TRUE(rand_bernoulli(rng, 1.0));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  constexpr int kDraws = 200000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rand_bernoulli(rng, 0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, DerivedSeedsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 10000; ++id) {
+    seen.insert(derive_seed(123456789, id));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rand_double(rng) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(SampleQuantile, NearestRankConvention) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 0.0), 10.0);   // clamped to rank 1
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 0.2), 10.0);   // ceil(1) = 1
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 0.61), 40.0);  // ceil(3.05) = 4
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 1.0), 50.0);
+}
+
+TEST(SampleQuantile, RejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)sample_quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)sample_quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)sample_quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(RankOf, CountsTies) {
+  const std::vector<double> xs = {1, 2, 2, 3};
+  EXPECT_EQ(rank_of(xs, 0.5), 0u);
+  EXPECT_EQ(rank_of(xs, 2.0), 3u);
+  EXPECT_EQ(rank_of(xs, 5.0), 4u);
+}
+
+TEST(MedianAbsDeviation, RobustSpread) {
+  const std::vector<double> xs = {1, 1, 2, 2, 4, 6, 9};
+  EXPECT_DOUBLE_EQ(median_abs_deviation(xs), 1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  h.add(-1.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 12u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucket(i), 1u);
+}
+
+TEST(Histogram, CdfInterpolates) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 100; ++i) h.add(0.25);  // all in first bucket
+  EXPECT_NEAR(h.cdf(0.5), 1.0, 1e-9);
+  EXPECT_NEAR(h.cdf(1.0), 1.0, 1e-9);
+  EXPECT_GT(h.cdf(0.3), 0.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    GQ_REQUIRE(false, "custom context");
+    FAIL() << "GQ_REQUIRE did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gq
