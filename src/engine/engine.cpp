@@ -1,0 +1,72 @@
+#include "engine/engine.hpp"
+
+#include "sim/key.hpp"
+
+namespace gq {
+
+Engine::Engine(std::uint32_t n, std::uint64_t seed, FailureModel failures,
+               EngineConfig config)
+    : n_(n),
+      seed_(seed),
+      failures_(std::move(failures)),
+      config_(config),
+      num_shards_((config.shard_size == 0
+                       ? 1
+                       : (static_cast<std::size_t>(n) + config.shard_size - 1) /
+                             config.shard_size)),
+      pool_(config.threads) {
+  GQ_REQUIRE(n >= 2, "a gossip network needs at least two nodes");
+  GQ_REQUIRE(config.shard_size > 0, "shard size must be positive");
+  shard_scratch_.resize(num_shards_);
+}
+
+void Engine::parallel_shards(const ShardFn& fn) {
+  const std::uint32_t shard_size = config_.shard_size;
+  pool_.run(num_shards_, [&](std::size_t s) {
+    const std::uint32_t begin =
+        static_cast<std::uint32_t>(s * static_cast<std::size_t>(shard_size));
+    const std::uint32_t end =
+        s + 1 == num_shards_
+            ? n_
+            : static_cast<std::uint32_t>((s + 1) *
+                                         static_cast<std::size_t>(shard_size));
+    Metrics& local = shard_scratch_[s];
+    local = Metrics{};
+    fn(begin, end, local);
+  });
+  // Deterministic aggregation: shard order is fixed by (n, shard_size),
+  // independent of which thread ran which shard.
+  for (const Metrics& local : shard_scratch_) metrics_.merge(local);
+}
+
+void Engine::pull_round(std::uint64_t bits_per_message,
+                        std::span<std::uint32_t> peers_out) {
+  GQ_REQUIRE(peers_out.size() == n_, "peer output array must have one slot per node");
+  begin_round();
+  parallel_shards([&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+    std::uint64_t sent = 0;
+    for (std::uint32_t v = begin; v < end; ++v) {
+      if (node_fails(v)) {
+        ++local.failed_operations;
+        peers_out[v] = kNoPeer;
+        continue;
+      }
+      SplitMix64 stream = node_stream(v);
+      peers_out[v] = sample_peer(v, stream);
+      ++sent;
+    }
+    local.record_messages(sent, bits_per_message);
+  });
+}
+
+std::vector<std::uint32_t> Engine::pull_round(std::uint64_t bits_per_message) {
+  std::vector<std::uint32_t> peers(n_, kNoPeer);
+  pull_round(bits_per_message, peers);
+  return peers;
+}
+
+std::uint64_t Engine::default_message_bits() const noexcept {
+  return gq::default_message_bits(n_);
+}
+
+}  // namespace gq

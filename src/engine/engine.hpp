@@ -1,0 +1,151 @@
+// The sharded parallel gossip execution engine.
+//
+// Engine executes the same synchronous-round model as the sequential
+// Network, but shards each round over a fixed thread pool.  It exists to
+// push simulations to the paper's analysed scale (n in the millions) while
+// keeping every experiment reproducible.
+//
+// ## Determinism contract
+//
+// For the same (n, seed, FailureModel) and the same sequence of calls, the
+// engine produces **bit-identical transcripts, node states, and Metrics to
+// the sequential Network path, at every thread count and shard size**.
+// This rests on three properties, each load-bearing:
+//
+//   1. Counter-based randomness.  Node v's draws in round r are a pure
+//      function of (seed, r, v) — see sim/streams.hpp, which both Network
+//      and Engine delegate to.  No draw depends on the order in which other
+//      nodes are processed, so threads cannot perturb transcripts.
+//   2. Disjoint output slots.  Every parallel kernel writes only to node-
+//      indexed slots of its own shard (peer arrays, per-node states); no
+//      shard writes state another shard reads within the same parallel
+//      section.  Reads of shared round-start snapshots are immutable.
+//   3. Deterministic metric aggregation.  Each shard accumulates into its
+//      own Metrics; after the barrier the shard accumulators are merged in
+//      shard order.  Shard boundaries depend only on (n, shard_size) —
+//      never on the thread count — and every Metrics field is a sum or max,
+//      so the merged totals are exactly the sequential totals.
+//
+// Anything built on top (the NodeProtocol adapter in runtime_adapter.hpp,
+// the batched kernels in kernels.hpp) inherits the contract by only using
+// parallel_shards() with per-node slots and per-shard Metrics.
+//
+// ## API shape
+//
+// Engine mirrors Network's primitives (begin_round / node_stream /
+// node_fails / sample_peer / metrics) so protocol code ports mechanically,
+// and adds the batched whole-round kernels pull_round / push_round that
+// fill a caller-provided contiguous peer array in parallel — no virtual
+// dispatch, no per-node allocation in the hot loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "engine/engine_config.hpp"
+#include "engine/thread_pool.hpp"
+#include "sim/failure_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/streams.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+
+class Engine {
+ public:
+  // Same sentinel as the sequential path: "operation failed this round".
+  static constexpr std::uint32_t kNoPeer = Network::kNoPeer;
+
+  Engine(std::uint32_t n, std::uint64_t seed,
+         FailureModel failures = FailureModel{},
+         EngineConfig config = EngineConfig{});
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const FailureModel& failures() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.threads(); }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
+
+  // ---- sequential-compatible primitives --------------------------------
+
+  // Starts the next synchronous round and returns its index.
+  std::uint64_t begin_round() noexcept {
+    ++round_;
+    ++metrics_.rounds;
+    return round_;
+  }
+
+  // Independent random stream for node v in the current round; identical
+  // to Network::node_stream for the same (seed, round, v).
+  [[nodiscard]] SplitMix64 node_stream(std::uint32_t v) const noexcept {
+    return streams::node_stream(seed_, round_, v);
+  }
+
+  [[nodiscard]] bool node_fails(std::uint32_t v) const {
+    return streams::node_fails(seed_, round_, v, failures_);
+  }
+
+  [[nodiscard]] std::uint32_t sample_peer(std::uint32_t v,
+                                          SplitMix64& stream) const noexcept {
+    return streams::sample_peer(v, n_, stream);
+  }
+
+  // Theta(log n)-bit default message budget, as Network::default_message_bits.
+  [[nodiscard]] std::uint64_t default_message_bits() const noexcept;
+
+  // ---- sharded execution -----------------------------------------------
+
+  // The extension point every batched kernel is built on: runs
+  // fn(begin, end, local) for each shard [begin, end) of the node range,
+  // in parallel, then merges the shard-local Metrics in shard order.
+  // fn must honour the determinism contract above: write only to
+  // node-indexed slots within [begin, end) and account traffic only
+  // through `local`.
+  using ShardFn =
+      std::function<void(std::uint32_t begin, std::uint32_t end, Metrics& local)>;
+  void parallel_shards(const ShardFn& fn);
+
+  // ---- batched whole-round kernels -------------------------------------
+
+  // One synchronous round in which every node attempts a single pull of a
+  // `bits_per_message`-bit message.  peers_out[v] is the contacted peer, or
+  // kNoPeer if v's operation failed.  Bit-identical to Network::pull_round.
+  void pull_round(std::uint64_t bits_per_message,
+                  std::span<std::uint32_t> peers_out);
+  [[nodiscard]] std::vector<std::uint32_t> pull_round(
+      std::uint64_t bits_per_message);
+
+  // One synchronous round in which every node attempts a single push; the
+  // sampler is identical to pull_round (the distinction is which side
+  // supplies the message — a protocol concern, not a sampling one).
+  void push_round(std::uint64_t bits_per_message,
+                  std::span<std::uint32_t> peers_out) {
+    pull_round(bits_per_message, peers_out);
+  }
+  [[nodiscard]] std::vector<std::uint32_t> push_round(
+      std::uint64_t bits_per_message) {
+    return pull_round(bits_per_message);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  FailureModel failures_;
+  EngineConfig config_;
+  std::uint64_t round_ = 0;
+  Metrics metrics_;
+  std::size_t num_shards_;
+  ThreadPool pool_;
+  std::vector<Metrics> shard_scratch_;  // one accumulator per shard
+};
+
+}  // namespace gq

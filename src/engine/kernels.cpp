@@ -1,0 +1,247 @@
+#include "engine/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "engine/soa_state.hpp"
+#include "util/require.hpp"
+
+namespace gq {
+
+RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
+                              std::uint64_t iterations,
+                              std::uint64_t max_rounds,
+                              std::uint64_t bits_per_message) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(state.size() == n, "one key per node required");
+
+  RuntimeResult out;
+  if (iterations == 0) {
+    out.all_finished = true;
+    return out;
+  }
+  SoAKeys cur = SoAKeys::from_keys(state);
+  SoAKeys snap(n);
+  std::vector<std::uint32_t> first(n);
+  std::vector<std::uint32_t> second(n);
+
+  std::uint64_t completed = 0;
+  while (completed < iterations && out.rounds < max_rounds) {
+    // First round of the iteration: snapshot (each shard copies its own
+    // slice; the section barrier completes it before any cross-shard read
+    // next round) and the first sample.
+    engine.begin_round();
+    ++out.rounds;
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          snap.copy_slice(cur, begin, end);
+          std::uint64_t sent = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (engine.node_fails(v)) {
+              ++local.failed_operations;
+              first[v] = Engine::kNoPeer;
+              continue;
+            }
+            SplitMix64 stream = engine.node_stream(v);
+            first[v] = engine.sample_peer(v, stream);
+            ++sent;
+          }
+          local.record_messages(sent, bits_per_message);
+        });
+    if (out.rounds >= max_rounds) break;  // half iteration: never committed
+
+    // Second round: the second sample, with the commit fused in — it reads
+    // only the immutable snapshot plus the node's own slots.  A failed pull
+    // on either round forfeits the iteration's update, as in the protocol.
+    engine.begin_round();
+    ++out.rounds;
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          std::uint64_t sent = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (engine.node_fails(v)) {
+              ++local.failed_operations;
+              second[v] = Engine::kNoPeer;
+              continue;
+            }
+            SplitMix64 stream = engine.node_stream(v);
+            second[v] = engine.sample_peer(v, stream);
+            ++sent;
+          }
+          local.record_messages(sent, bits_per_message);
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (first[v] == Engine::kNoPeer || second[v] == Engine::kNoPeer) {
+              continue;
+            }
+            const Key a = snap.get(first[v]);
+            const Key b = snap.get(second[v]);
+            const Key c = cur.get(v);
+            cur.set(v, std::min(std::max(a, b), std::max(std::min(a, b), c)));
+          }
+        });
+    ++completed;
+  }
+  out.all_finished = completed >= iterations;
+  cur.to_keys(state);
+  return out;
+}
+
+TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
+                                    double phi, double eps,
+                                    bool truncate_last) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(state.size() == n, "one key per node required");
+  GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
+  GQ_REQUIRE(engine.failures().never_fails(),
+             "two_tournament is the failure-free variant; use "
+             "robust_two_tournament under a failure model");
+
+  TwoTournamentOutcome out;
+  const auto [side, start] = tournament_side(phi, eps);
+  out.side = side;
+  out.schedule = two_tournament_schedule(start, eps);
+  const bool suppress_high = side == TournamentSide::kSuppressHigh;
+  const std::uint64_t bits = key_bits(n);
+
+  SoAKeys cur = SoAKeys::from_keys(state);
+  SoAKeys snap(n);
+  std::vector<std::uint32_t> first(n);
+
+  for (std::size_t iter = 0; iter < out.schedule.iterations(); ++iter) {
+    const double delta = truncate_last ? out.schedule.delta[iter] : 1.0;
+
+    // Round 1: every node pulls its first sample (snapshot fused in).
+    engine.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          snap.copy_slice(cur, begin, end);
+          for (std::uint32_t v = begin; v < end; ++v) {
+            SplitMix64 stream = engine.node_stream(v);
+            first[v] = engine.sample_peer(v, stream);
+          }
+          local.record_messages(end - begin, bits);
+        });
+
+    // Round 2: the delta coin and, if it lands, the second sample; the
+    // tournament commit reads the immutable snapshot only.
+    engine.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          std::uint64_t sent = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            SplitMix64 stream = engine.node_stream(v);
+            const bool tournament =
+                delta >= 1.0 || rand_bernoulli(stream, delta);
+            if (tournament) {
+              const std::uint32_t second = engine.sample_peer(v, stream);
+              ++sent;
+              const Key a = snap.get(first[v]);
+              const Key b = snap.get(second);
+              cur.set(v, suppress_high ? std::min(a, b) : std::max(a, b));
+            } else {
+              cur.set(v, snap.get(first[v]));
+            }
+          }
+          local.record_messages(sent, bits);
+        });
+
+    ++out.iterations;
+  }
+  cur.to_keys(state);
+  return out;
+}
+
+namespace {
+
+const Key& median3(const Key& a, const Key& b, const Key& c) {
+  if (a < b) {
+    if (b < c) return b;
+    return a < c ? c : a;
+  }
+  if (a < c) return a;
+  return b < c ? c : b;
+}
+
+}  // namespace
+
+ThreeTournamentOutcome three_tournament(Engine& engine,
+                                        std::vector<Key>& state, double eps,
+                                        std::uint32_t final_sample_size) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(state.size() == n, "one key per node required");
+  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
+  GQ_REQUIRE(final_sample_size >= 1, "final sample size must be positive");
+  GQ_REQUIRE(engine.failures().never_fails(),
+             "three_tournament is the failure-free variant; use "
+             "robust_three_tournament under a failure model");
+  const std::uint32_t k_samples = final_sample_size | 1u;  // force odd
+
+  ThreeTournamentOutcome out;
+  out.schedule = three_tournament_schedule(eps, n);
+  const std::uint64_t bits = key_bits(n);
+
+  SoAKeys cur = SoAKeys::from_keys(state);
+  SoAKeys snap(n);
+  std::array<std::vector<std::uint32_t>, 3> picks;
+  for (auto& p : picks) p.resize(n);
+
+  for (std::size_t iter = 0; iter < out.schedule.iterations(); ++iter) {
+    // Three pulls = three rounds; all read the iteration-start snapshot,
+    // which the first round's shards copy slice-wise before its barrier.
+    for (int pull = 0; pull < 3; ++pull) {
+      engine.begin_round();
+      engine.parallel_shards(
+          [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+            if (pull == 0) snap.copy_slice(cur, begin, end);
+            auto& out_picks = picks[static_cast<std::size_t>(pull)];
+            for (std::uint32_t v = begin; v < end; ++v) {
+              SplitMix64 stream = engine.node_stream(v);
+              out_picks[v] = engine.sample_peer(v, stream);
+            }
+            local.record_messages(end - begin, bits);
+            // Fuse the median commit into the last pull round: it reads
+            // only the immutable snapshot and the node's own pick slots.
+            if (pull == 2) {
+              for (std::uint32_t v = begin; v < end; ++v) {
+                cur.set(v, median3(snap.get(picks[0][v]), snap.get(picks[1][v]),
+                                   snap.get(picks[2][v])));
+              }
+            }
+          });
+    }
+    ++out.iterations;
+  }
+
+  // Final step: every node samples K values and outputs their median.  The
+  // tournament state is immutable during these rounds; each node owns its
+  // contiguous sample slice.
+  std::vector<Key> samples(static_cast<std::size_t>(n) * k_samples);
+  for (std::uint32_t j = 0; j < k_samples; ++j) {
+    engine.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            SplitMix64 stream = engine.node_stream(v);
+            samples[static_cast<std::size_t>(v) * k_samples + j] =
+                cur.get(engine.sample_peer(v, stream));
+          }
+          local.record_messages(end - begin, bits);
+        });
+  }
+  out.outputs.resize(n);
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          const auto first_sample =
+              samples.begin() + static_cast<std::size_t>(v) * k_samples;
+          const auto mid = first_sample + k_samples / 2;
+          std::nth_element(first_sample, mid, first_sample + k_samples);
+          out.outputs[v] = *mid;
+        }
+      });
+  cur.to_keys(state);
+  return out;
+}
+
+}  // namespace gq

@@ -1,0 +1,52 @@
+// Batched whole-algorithm kernels on the parallel Engine.
+//
+// These run the core/ algorithms as sharded round kernels over contiguous
+// struct-of-arrays key state: no virtual dispatch, no per-node allocation,
+// one or two parallel sections per gossip round.  Each kernel is
+// **bit-identical** to its sequential counterpart — same per-node draw
+// order from the counter-based streams, same commit rule, same Metrics —
+// which the engine test suite pins at 1, 2, and 8 threads:
+//
+//   * median_dynamics       == MedianDynamicsProtocol via run_protocols
+//   * two_tournament        == core/two_tournament (Algorithm 1)
+//   * three_tournament      == core/three_tournament (Algorithm 2)
+//
+// The tournament kernels take the same pre-/post-conditions as the core
+// versions (failure-free network; one key per node) and return the same
+// outcome structs.  The per-iteration observer hook is not offered here:
+// it would force materialising the AoS state every iteration, defeating
+// the batching — use the sequential path for instrumented runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/three_tournament.hpp"
+#include "core/two_tournament.hpp"
+#include "engine/engine.hpp"
+#include "runtime/protocol.hpp"
+#include "sim/key.hpp"
+
+namespace gq {
+
+// The [DGM+11] median dynamics as a batched kernel: `iterations` iterations
+// of two pull rounds each, committing median(own, a, b) when both samples
+// arrived (a failed pull forfeits the iteration's update).  Bit-identical
+// to driving MedianDynamicsProtocol instances through run_protocols with
+// the same (seed, failure model, max_rounds, bits_per_message).
+RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
+                              std::uint64_t iterations,
+                              std::uint64_t max_rounds,
+                              std::uint64_t bits_per_message);
+
+// Algorithm 1 (2-TOURNAMENT) on the engine; see core/two_tournament.hpp.
+TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
+                                    double phi, double eps,
+                                    bool truncate_last = true);
+
+// Algorithm 2 (3-TOURNAMENT) on the engine; see core/three_tournament.hpp.
+ThreeTournamentOutcome three_tournament(Engine& engine,
+                                        std::vector<Key>& state, double eps,
+                                        std::uint32_t final_sample_size = 15);
+
+}  // namespace gq

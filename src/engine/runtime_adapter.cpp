@@ -1,0 +1,83 @@
+#include "engine/runtime_adapter.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "util/require.hpp"
+
+namespace gq {
+
+RuntimeResult run_protocols(Engine& engine,
+                            std::span<std::unique_ptr<NodeProtocol>> nodes,
+                            std::uint64_t max_rounds,
+                            std::uint64_t bits_per_message) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(nodes.size() == n, "one protocol instance per node required");
+  for (const auto& p : nodes) {
+    GQ_REQUIRE(p != nullptr, "protocol instances must not be null");
+  }
+
+  RuntimeResult out;
+  std::vector<Key> payloads(n);
+
+  // AND-reduction over all nodes; a relaxed store suffices because the
+  // result (true iff no shard saw an unfinished node) is order-independent.
+  const auto all_finished = [&] {
+    std::atomic<bool> all{true};
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (!nodes[v]->finished()) {
+              all.store(false, std::memory_order_relaxed);
+              return;
+            }
+          }
+        });
+    return all.load(std::memory_order_relaxed);
+  };
+
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    if (all_finished()) {
+      out.all_finished = true;
+      return out;
+    }
+    const std::uint64_t round = engine.begin_round();
+    ++out.rounds;
+    // Round-start snapshot of every node's exposed payload.  Its own
+    // parallel section: deliveries below read payloads cross-shard, so the
+    // snapshot must be complete (barrier) before any pull lands.
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            payloads[v] = nodes[v]->exposed();
+          }
+        });
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          std::uint64_t sent = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (!nodes[v]->wants_pull(round)) continue;
+            if (engine.node_fails(v)) {
+              ++local.failed_operations;
+              continue;
+            }
+            SplitMix64 stream = engine.node_stream(v);
+            const std::uint32_t peer = engine.sample_peer(v, stream);
+            ++sent;
+            nodes[v]->deliver(round, payloads[peer]);
+          }
+          local.record_messages(sent, bits_per_message);
+        });
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            nodes[v]->finish_round(round);
+          }
+        });
+  }
+  out.all_finished = all_finished();
+  return out;
+}
+
+}  // namespace gq

@@ -1,0 +1,34 @@
+// Adapter: drives existing NodeProtocol instances on the parallel Engine.
+//
+// run_protocols(Engine&, ...) is a drop-in replacement for the sequential
+// run_protocols(Network&, ...) in runtime/protocol.hpp: same round
+// structure (round-start payload snapshot, pulls delivered with the
+// network's randomness and failure model, finish_round at the boundary),
+// same RuntimeResult, and — per the engine's determinism contract —
+// bit-identical final protocol states and Metrics at every thread count.
+//
+// Parallel safety comes from the protocol boundary itself: deliver() and
+// finish_round() mutate only the receiving node's instance, exposed() is
+// read once into an immutable snapshot before any delivery, and each node
+// lives in exactly one shard.  Protocols whose methods touch shared state
+// outside their own instance are outside the contract (none in this
+// repository do).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "engine/engine.hpp"
+#include "runtime/protocol.hpp"
+
+namespace gq {
+
+// Drives one protocol instance per node until all report finished() or
+// `max_rounds` elapse, sharded over the engine's thread pool.
+RuntimeResult run_protocols(Engine& engine,
+                            std::span<std::unique_ptr<NodeProtocol>> nodes,
+                            std::uint64_t max_rounds,
+                            std::uint64_t bits_per_message);
+
+}  // namespace gq

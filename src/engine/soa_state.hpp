@@ -1,0 +1,70 @@
+// Struct-of-arrays storage for per-node Key state.
+//
+// The batched kernels keep node state as three contiguous arrays (value,
+// id, tag) instead of an array of Key structs: round kernels then stream
+// through memory linearly, the three fields stay cache-resident
+// independently, and no padding is moved.  get()/set() convert at the
+// boundary; a Key is three registers, so the conversion compiles away.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+
+namespace gq {
+
+struct SoAKeys {
+  std::vector<double> value;
+  std::vector<std::uint32_t> id;
+  std::vector<std::uint64_t> tag;
+
+  SoAKeys() = default;
+  explicit SoAKeys(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    value.resize(n);
+    id.resize(n);
+    tag.resize(n);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return value.size(); }
+
+  [[nodiscard]] Key get(std::size_t i) const noexcept {
+    return Key{value[i], id[i], tag[i]};
+  }
+
+  void set(std::size_t i, const Key& k) noexcept {
+    value[i] = k.value;
+    id[i] = k.id;
+    tag[i] = k.tag;
+  }
+
+  // Copies the slice [begin, end) of `from` into this (same indices).
+  // Kernels use this to fuse snapshotting into the first round of an
+  // iteration: each shard copies its own slice, and the section barrier
+  // guarantees the snapshot is complete before any cross-shard read.
+  void copy_slice(const SoAKeys& from, std::size_t begin, std::size_t end) {
+    std::copy(from.value.begin() + begin, from.value.begin() + end,
+              value.begin() + begin);
+    std::copy(from.id.begin() + begin, from.id.begin() + end,
+              id.begin() + begin);
+    std::copy(from.tag.begin() + begin, from.tag.begin() + end,
+              tag.begin() + begin);
+  }
+
+  [[nodiscard]] static SoAKeys from_keys(std::span<const Key> keys) {
+    SoAKeys s(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) s.set(i, keys[i]);
+    return s;
+  }
+
+  void to_keys(std::span<Key> out) const {
+    for (std::size_t i = 0; i < size(); ++i) out[i] = get(i);
+  }
+};
+
+}  // namespace gq

@@ -1,0 +1,95 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gq {
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads != 0
+                   ? threads
+                   : std::max(1u, std::thread::hardware_concurrency())) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    task_ = &task;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    completed_ = 0;
+    batch_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_batch();  // the calling thread participates in its own batch
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return completed_ == num_tasks_; });
+    task_ = nullptr;  // workers that wake late see "no batch" and re-sleep
+    error = std::exchange(batch_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::drain_batch() {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* task;
+    {
+      std::lock_guard lock(mutex_);
+      if (task_ == nullptr || next_task_ >= num_tasks_) return;
+      index = next_task_++;
+      task = task_;
+    }
+    try {
+      (*task)(index);
+    } catch (...) {
+      // A throwing task must not kill a worker thread or break the
+      // barrier; remember the first exception for run() to rethrow, count
+      // the index as done, and keep draining.
+      std::lock_guard lock(mutex_);
+      if (!batch_error_) batch_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (++completed_ == num_tasks_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain_batch();
+  }
+}
+
+}  // namespace gq

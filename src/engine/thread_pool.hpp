@@ -1,0 +1,67 @@
+// A fixed pool of worker threads executing indexed task batches.
+//
+// ThreadPool::run(num_tasks, fn) calls fn(i) exactly once for every
+// i in [0, num_tasks), distributing indices over the workers plus the
+// calling thread, and returns only when all calls have completed (a full
+// barrier).  Which thread executes which index is unspecified — callers
+// must make fn(i) independent of execution order; the engine guarantees
+// this by deriving all randomness from counter-based streams and giving
+// every task its own output slots.
+//
+// The pool is created once and reused for every round, so the per-round
+// dispatch cost is two condition-variable hops, not thread creation.  With
+// one thread the pool spawns no workers and run() executes inline, making
+// the single-threaded engine an ordinary sequential loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gq {
+
+class ThreadPool {
+ public:
+  // `threads` >= 1 is the total parallelism including the calling thread;
+  // 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  // Executes task(i) for every i in [0, num_tasks); returns after all
+  // complete.  Not reentrant: run() must not be called from within a task.
+  // If a task throws, the batch still drains (remaining indices may or may
+  // not run), the pool stays usable, and the first exception is rethrown
+  // from run() on the calling thread — matching the sequential path's
+  // propagation semantics.
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+  void drain_batch();
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // wakes workers for a new batch
+  std::condition_variable done_cv_;   // wakes run() when a batch finishes
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t num_tasks_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t generation_ = 0;        // batch sequence number
+  std::exception_ptr batch_error_;      // first exception thrown by a task
+  bool stop_ = false;
+};
+
+}  // namespace gq

@@ -1,6 +1,6 @@
 #include "sim/network.hpp"
 
-#include <bit>
+#include "sim/key.hpp"
 
 namespace gq {
 
@@ -20,9 +20,7 @@ std::vector<std::uint32_t> Network::pull_round(std::uint64_t bits_per_message) {
 }
 
 std::uint64_t Network::default_message_bits() const noexcept {
-  const auto log2n = static_cast<std::uint64_t>(std::bit_width(
-      static_cast<std::uint64_t>(n_ - 1)));
-  return 2 * log2n;
+  return gq::default_message_bits(n_);
 }
 
 }  // namespace gq

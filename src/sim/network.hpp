@@ -25,6 +25,7 @@
 
 #include "sim/failure_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/streams.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -60,42 +61,29 @@ class Network {
 
   // Independent random stream for node v in the current round.  Protocols
   // must draw from it in a fixed program order to stay deterministic.
+  // (Shared derivation with the parallel Engine: see sim/streams.hpp.)
   [[nodiscard]] SplitMix64 node_stream(std::uint32_t v) const noexcept {
-    // Mix round and node into the master seed with two odd constants; the
-    // SplitMix64 constructor's first output then decorrelates neighbours.
-    const std::uint64_t s = seed_ ^ (round_ * 0x9e3779b97f4a7c15ULL) ^
-                            (static_cast<std::uint64_t>(v) + 1) *
-                                0xd1342543de82ef95ULL;
-    return SplitMix64{s};
+    return streams::node_stream(seed_, round_, v);
   }
 
   // Samples whether node v's operation fails in the current round.  Uses a
   // dedicated stream so the failure coin does not perturb peer choices.
-  [[nodiscard]] bool node_fails(std::uint32_t v) const noexcept {
-    const double p = failures_.probability(v, round_);
-    if (p <= 0.0) return false;
-    SplitMix64 s{seed_ ^ 0x5851f42d4c957f2dULL ^
-                 (round_ * 0xd6e8feb86659fd93ULL) ^
-                 (static_cast<std::uint64_t>(v) + 1) * 0xaef17502108ef2d9ULL};
-    return rand_bernoulli(s, p);
+  [[nodiscard]] bool node_fails(std::uint32_t v) const {
+    return streams::node_fails(seed_, round_, v, failures_);
   }
 
   // Uniformly random node other than v, drawn from `stream`.
   [[nodiscard]] std::uint32_t sample_peer(std::uint32_t v,
                                           SplitMix64& stream) const noexcept {
-    auto idx = static_cast<std::uint32_t>(rand_index(stream, n_ - 1));
-    return idx >= v ? idx + 1 : idx;
+    return streams::sample_peer(v, n_, stream);
   }
 
-  // Traffic accounting for the current round.
-  void record_messages(std::uint64_t count, std::uint64_t bits_each) noexcept {
-    for (std::uint64_t i = 0; i < count; ++i) {
-      metrics_.record_message(bits_each);
-    }
+  // Traffic accounting for the current round.  Bulk form is O(#distinct
+  // message sizes), not O(count).
+  void record_messages(std::uint64_t count, std::uint64_t bits_each) {
+    metrics_.record_messages(count, bits_each);
   }
-  void record_message(std::uint64_t bits) noexcept {
-    metrics_.record_message(bits);
-  }
+  void record_message(std::uint64_t bits) { metrics_.record_message(bits); }
   void record_failed_operation() noexcept { ++metrics_.failed_operations; }
 
   // ---- whole-round helpers ---------------------------------------------

@@ -1,0 +1,57 @@
+// Counter-based randomness for synchronous gossip, shared by the sequential
+// Network and the parallel Engine.
+//
+// All randomness of node v in round r is a pure function of
+// (master seed, r, v): a SplitMix64 stream seeded by mixing the three with
+// odd constants.  This is the property that makes gossip rounds
+// embarrassingly parallel without sacrificing reproducibility — any executor
+// that derives its draws through these functions, in the same per-node
+// program order, produces bit-identical transcripts regardless of the order
+// (or thread) in which nodes are processed.
+//
+// Network and Engine both delegate here; do not reimplement the mixing
+// elsewhere, or the two execution paths can drift apart silently.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/failure_model.hpp"
+#include "util/rng.hpp"
+
+namespace gq::streams {
+
+// Independent random stream for node v in round `round`.  Protocols must
+// draw from it in a fixed program order to stay deterministic.
+[[nodiscard]] constexpr SplitMix64 node_stream(std::uint64_t seed,
+                                               std::uint64_t round,
+                                               std::uint32_t v) noexcept {
+  // Mix round and node into the master seed with two odd constants; the
+  // SplitMix64 constructor's first output then decorrelates neighbours.
+  const std::uint64_t s = seed ^ (round * 0x9e3779b97f4a7c15ULL) ^
+                          (static_cast<std::uint64_t>(v) + 1) *
+                              0xd1342543de82ef95ULL;
+  return SplitMix64{s};
+}
+
+// Samples whether node v's operation fails in round `round`.  Uses a
+// dedicated stream so the failure coin does not perturb peer choices.
+[[nodiscard]] inline bool node_fails(std::uint64_t seed, std::uint64_t round,
+                                     std::uint32_t v,
+                                     const FailureModel& failures) {
+  const double p = failures.probability(v, round);
+  if (p <= 0.0) return false;
+  SplitMix64 s{seed ^ 0x5851f42d4c957f2dULL ^
+               (round * 0xd6e8feb86659fd93ULL) ^
+               (static_cast<std::uint64_t>(v) + 1) * 0xaef17502108ef2d9ULL};
+  return rand_bernoulli(s, p);
+}
+
+// Uniformly random node in [0, n) other than v, drawn from `stream`.
+[[nodiscard]] inline std::uint32_t sample_peer(std::uint32_t v,
+                                               std::uint32_t n,
+                                               SplitMix64& stream) noexcept {
+  auto idx = static_cast<std::uint32_t>(rand_index(stream, n - 1));
+  return idx >= v ? idx + 1 : idx;
+}
+
+}  // namespace gq::streams

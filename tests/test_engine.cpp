@@ -1,0 +1,265 @@
+// Determinism tests for the sharded parallel engine: the engine must
+// produce bit-identical transcripts, states, and Metrics to the sequential
+// Network/runtime path for the same seed, at every thread count, with and
+// without a failure model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/kernels.hpp"
+#include "engine/runtime_adapter.hpp"
+#include "engine/thread_pool.hpp"
+#include "runtime/protocol.hpp"
+#include "sim/network.hpp"
+#include "wire/codec.hpp"
+#include "workload/distributions.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+// Small shards so every thread count exercises multi-shard merging.
+EngineConfig config_for(unsigned threads) {
+  return EngineConfig{.threads = threads, .shard_size = 192};
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (unsigned threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    // The pool must be reusable across batches.
+    pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+    pool.run(0, [&](std::size_t) { FAIL() << "empty batch ran a task"; });
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsAndStaysUsable) {
+  for (unsigned threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.run(64,
+                 [](std::size_t i) {
+                   if (i == 13) throw std::runtime_error("boom");
+                 }),
+        std::runtime_error);
+    // The pool must survive a throwing batch intact.
+    std::atomic<int> ran{0};
+    pool.run(64, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(Engine, RejectsInvalidConfigurations) {
+  EXPECT_THROW(Engine(1, 7), std::invalid_argument);
+  EXPECT_THROW(Engine(16, 7, FailureModel{},
+                      EngineConfig{.threads = 1, .shard_size = 0}),
+               std::invalid_argument);
+}
+
+TEST(Engine, PullRoundTranscriptMatchesNetworkAtEveryThreadCount) {
+  constexpr std::uint32_t kN = 1000;
+  constexpr std::uint64_t kSeed = 41;
+  for (const bool with_failures : {false, true}) {
+    const FailureModel fm =
+        with_failures ? FailureModel::uniform(0.25) : FailureModel{};
+    Network net(kN, kSeed, fm);
+    std::vector<std::vector<std::uint32_t>> expected;
+    for (int r = 0; r < 12; ++r) expected.push_back(net.pull_round(32));
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, fm, config_for(threads));
+      for (int r = 0; r < 12; ++r) {
+        EXPECT_EQ(engine.pull_round(32), expected[static_cast<size_t>(r)])
+            << "threads=" << threads << " round=" << r
+            << " failures=" << with_failures;
+      }
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " failures=" << with_failures;
+      EXPECT_EQ(engine.round(), net.round());
+    }
+  }
+}
+
+TEST(Engine, DefaultMessageBitsMatchesNetwork) {
+  Network net(1 << 20, 1);
+  Engine engine(1 << 20, 1, FailureModel{}, EngineConfig{.threads = 1});
+  EXPECT_EQ(engine.default_message_bits(), net.default_message_bits());
+}
+
+std::vector<std::unique_ptr<NodeProtocol>> make_median_protocols(
+    std::span<const Key> keys, std::uint64_t iterations) {
+  std::vector<std::unique_ptr<NodeProtocol>> out;
+  out.reserve(keys.size());
+  for (const Key& k : keys) {
+    out.push_back(std::make_unique<MedianDynamicsProtocol>(k, iterations));
+  }
+  return out;
+}
+
+std::vector<Key> protocol_states(
+    std::span<const std::unique_ptr<NodeProtocol>> protos) {
+  std::vector<Key> out;
+  out.reserve(protos.size());
+  for (const auto& p : protos) {
+    out.push_back(static_cast<MedianDynamicsProtocol*>(p.get())->state());
+  }
+  return out;
+}
+
+TEST(EngineAdapter, BitIdenticalToSequentialRuntime) {
+  constexpr std::uint32_t kN = 2048;
+  constexpr std::uint64_t kSeed = 23;
+  constexpr std::uint64_t kIterations = 20;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 3));
+  const std::uint64_t bits = KeyCodec(kN).encoded_bits();
+
+  for (const bool with_failures : {false, true}) {
+    const FailureModel fm =
+        with_failures ? FailureModel::uniform(0.3) : FailureModel{};
+
+    Network net(kN, kSeed, fm);
+    auto seq_protos = make_median_protocols(keys, kIterations);
+    const RuntimeResult seq = run_protocols(net, seq_protos, 1000, bits);
+    const std::vector<Key> seq_states = protocol_states(seq_protos);
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, fm, config_for(threads));
+      auto protos = make_median_protocols(keys, kIterations);
+      const RuntimeResult par = run_protocols(engine, protos, 1000, bits);
+      EXPECT_EQ(par.rounds, seq.rounds);
+      EXPECT_EQ(par.all_finished, seq.all_finished);
+      EXPECT_EQ(protocol_states(protos), seq_states)
+          << "threads=" << threads << " failures=" << with_failures;
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " failures=" << with_failures;
+    }
+  }
+}
+
+TEST(EngineKernels, MedianDynamicsMatchesProtocolPath) {
+  constexpr std::uint32_t kN = 2048;
+  constexpr std::uint64_t kSeed = 57;
+  constexpr std::uint64_t kIterations = 16;
+  const auto keys =
+      make_keys(generate_values(Distribution::kGaussian, kN, 5));
+  const std::uint64_t bits = KeyCodec(kN).encoded_bits();
+
+  // max_rounds both above and below 2*iterations (the odd cap ends on a
+  // half iteration whose messages must still be accounted).
+  for (const std::uint64_t max_rounds : {std::uint64_t{1000},
+                                         std::uint64_t{2 * kIterations},
+                                         std::uint64_t{21}}) {
+    for (const bool with_failures : {false, true}) {
+      const FailureModel fm =
+          with_failures ? FailureModel::uniform(0.2) : FailureModel{};
+
+      Network net(kN, kSeed, fm);
+      auto protos = make_median_protocols(keys, kIterations);
+      const RuntimeResult seq = run_protocols(net, protos, max_rounds, bits);
+      const std::vector<Key> seq_states = protocol_states(protos);
+
+      for (unsigned threads : kThreadCounts) {
+        Engine engine(kN, kSeed, fm, config_for(threads));
+        std::vector<Key> state(keys.begin(), keys.end());
+        const RuntimeResult ker =
+            median_dynamics(engine, state, kIterations, max_rounds, bits);
+        EXPECT_EQ(ker.rounds, seq.rounds) << "max_rounds=" << max_rounds;
+        EXPECT_EQ(ker.all_finished, seq.all_finished);
+        EXPECT_EQ(state, seq_states)
+            << "threads=" << threads << " failures=" << with_failures
+            << " max_rounds=" << max_rounds;
+        EXPECT_EQ(engine.metrics(), net.metrics())
+            << "threads=" << threads << " failures=" << with_failures
+            << " max_rounds=" << max_rounds;
+      }
+    }
+  }
+}
+
+TEST(EngineKernels, TwoTournamentMatchesCore) {
+  constexpr std::uint32_t kN = 4096;
+  constexpr std::uint64_t kSeed = 101;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 7));
+
+  for (const double phi : {0.5, 0.2}) {
+    for (const bool truncate_last : {true, false}) {
+      Network net(kN, kSeed);
+      std::vector<Key> seq_state(keys.begin(), keys.end());
+      const auto seq =
+          two_tournament(net, seq_state, phi, 0.05, truncate_last);
+
+      for (unsigned threads : kThreadCounts) {
+        Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+        std::vector<Key> state(keys.begin(), keys.end());
+        const auto par =
+            two_tournament(engine, state, phi, 0.05, truncate_last);
+        EXPECT_EQ(par.iterations, seq.iterations);
+        EXPECT_EQ(par.side, seq.side);
+        EXPECT_EQ(state, seq_state)
+            << "threads=" << threads << " phi=" << phi
+            << " truncate_last=" << truncate_last;
+        EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(EngineKernels, ThreeTournamentMatchesCore) {
+  constexpr std::uint32_t kN = 4096;
+  constexpr std::uint64_t kSeed = 103;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 11));
+
+  Network net(kN, kSeed);
+  std::vector<Key> seq_state(keys.begin(), keys.end());
+  const auto seq = three_tournament(net, seq_state, 0.05);
+
+  for (unsigned threads : kThreadCounts) {
+    Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+    std::vector<Key> state(keys.begin(), keys.end());
+    const auto par = three_tournament(engine, state, 0.05);
+    EXPECT_EQ(par.iterations, seq.iterations);
+    EXPECT_EQ(state, seq_state) << "threads=" << threads;
+    EXPECT_EQ(par.outputs, seq.outputs) << "threads=" << threads;
+    EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
+  }
+}
+
+TEST(EngineKernels, TournamentsRejectFailureModels) {
+  Engine engine(64, 1, FailureModel::uniform(0.1),
+                EngineConfig{.threads = 1});
+  std::vector<Key> state(64);
+  EXPECT_THROW((void)two_tournament(engine, state, 0.5, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)three_tournament(engine, state, 0.1),
+               std::invalid_argument);
+}
+
+// Thread count and shard size are pure performance knobs: sweeping both
+// must not change a single bit of the result.
+TEST(Engine, ShardSizeIsNotObservable) {
+  constexpr std::uint32_t kN = 777;
+  Engine coarse(kN, 5, FailureModel::uniform(0.1),
+                EngineConfig{.threads = 2, .shard_size = 1u << 14});
+  Engine fine(kN, 5, FailureModel::uniform(0.1),
+              EngineConfig{.threads = 2, .shard_size = 33});
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(coarse.pull_round(24), fine.pull_round(24));
+  }
+  EXPECT_EQ(coarse.metrics(), fine.metrics());
+}
+
+}  // namespace
+}  // namespace gq

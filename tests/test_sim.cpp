@@ -179,6 +179,64 @@ TEST(FailureModel, RejectsInvalidProbabilities) {
                std::invalid_argument);
 }
 
+TEST(Metrics, SinceReportsPhaseLocalMaximum) {
+  // A phase whose largest message is smaller than the run-global maximum
+  // must report its own maximum, not the global one.
+  Metrics m;
+  m.record_messages(5, 64);
+  const Metrics snapshot = m;
+  m.record_messages(3, 16);
+  const Metrics d = m.since(snapshot);
+  EXPECT_EQ(d.messages, 3u);
+  EXPECT_EQ(d.message_bits, 48u);
+  EXPECT_EQ(d.max_message_bits, 16u);  // not the global 64
+  EXPECT_EQ(m.max_message_bits, 64u);
+  // An empty phase has no largest message.
+  EXPECT_EQ(m.since(m).max_message_bits, 0u);
+}
+
+TEST(Metrics, BulkRecordMatchesRepeatedSingles) {
+  Metrics bulk, singles;
+  bulk.record_messages(1000, 24);
+  bulk.record_messages(7, 80);
+  for (int i = 0; i < 1000; ++i) singles.record_message(24);
+  for (int i = 0; i < 7; ++i) singles.record_message(80);
+  EXPECT_EQ(bulk, singles);
+}
+
+TEST(Metrics, MergeCombinesShardAccumulators) {
+  Metrics a, b;
+  a.record_messages(10, 32);
+  a.failed_operations = 2;
+  b.record_messages(5, 32);
+  b.record_messages(4, 128);
+  b.failed_operations = 1;
+
+  Metrics combined;
+  combined.record_messages(15, 32);
+  combined.record_messages(4, 128);
+  combined.failed_operations = 3;
+
+  Metrics merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged, combined);
+
+  // Merge order must not matter (the engine merges in shard order, but the
+  // totals are order-independent sums and maxes).
+  Metrics reversed = b;
+  reversed.merge(a);
+  EXPECT_EQ(reversed, combined);
+}
+
+TEST(Network, BulkRecordMessagesAccountsAllTraffic) {
+  Network net(8, 3);
+  net.begin_round();
+  net.record_messages(1000000, 16);  // O(#sizes), not O(count)
+  EXPECT_EQ(net.metrics().messages, 1000000u);
+  EXPECT_EQ(net.metrics().message_bits, 16000000u);
+  EXPECT_EQ(net.metrics().max_message_bits, 16u);
+}
+
 TEST(Metrics, SinceComputesDeltas) {
   Metrics a;
   a.rounds = 10;
