@@ -82,6 +82,15 @@ bool fast_mode() {
   return s != nullptr && s[0] == '1';
 }
 
+bool smoke_mode() {
+  const char* s = std::getenv("GQ_BENCH_SMOKE");
+  return s != nullptr && s[0] == '1';
+}
+
+std::uint32_t smoke_capped(std::uint32_t n, std::uint32_t smoke_n) {
+  return smoke_mode() && n > smoke_n ? smoke_n : n;
+}
+
 std::size_t scaled_trials(std::size_t base) {
   const double t = std::round(static_cast<double>(base) * scale());
   return static_cast<std::size_t>(std::max(1.0, t));

@@ -33,6 +33,15 @@ void print_header(const std::string& id, const std::string& title,
 [[nodiscard]] double scale();
 [[nodiscard]] bool fast_mode();
 
+// GQ_BENCH_SMOKE=1 shrinks problem sizes to CI-smoke scale: the bench
+// exercises every code path but measures nothing meaningful.  Used by the
+// CI bench-smoke job to keep bench targets from bit-rotting.
+[[nodiscard]] bool smoke_mode();
+
+// n, or the CI-smoke substitute when GQ_BENCH_SMOKE=1.
+[[nodiscard]] std::uint32_t smoke_capped(std::uint32_t n,
+                                         std::uint32_t smoke_n = 10000);
+
 // max(1, round(base * scale()))
 [[nodiscard]] std::size_t scaled_trials(std::size_t base);
 

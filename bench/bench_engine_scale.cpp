@@ -152,13 +152,15 @@ void run() {
               std::thread::hardware_concurrency());
 
   constexpr std::uint32_t kMillion = 1000000;
-  std::printf("## raw pull rounds, n = 10^6\n\n");
-  pull_round_table(kMillion, 6);
+  const std::uint32_t n = bench::smoke_capped(kMillion);
+  std::printf("## raw pull rounds, n = %u\n\n", n);
+  pull_round_table(n, 6);
 
-  std::printf("\n## median dynamics, n = 10^6 (protocol path vs batched)\n\n");
-  median_dynamics_table(kMillion, 3);
+  std::printf("\n## median dynamics, n = %u (protocol path vs batched)\n\n",
+              n);
+  median_dynamics_table(n, 3);
 
-  if (!bench::fast_mode()) {
+  if (!bench::fast_mode() && !bench::smoke_mode()) {
     std::printf("\n## batched kernel, n = 10^7\n\n");
     kernel_only_table(10 * kMillion, 2);
   }

@@ -75,8 +75,9 @@ void run() {
   table.print();
   std::printf(
       "Budget check: 'max msg bits' stays within a small constant of "
-      "log2(n) words for every protocol\n(push-sum pairs and token weights "
-      "are the constants above the key size).\n\n");
+      "log2(n) words for every protocol\n(push-sum pairs are the constant "
+      "above the key size; token weights add only bit_width(multiplier) "
+      "bits).\n\n");
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+// E-PIPE — full quantile pipelines on the engine vs the sequential path.
+//
+// PR 1 parallelised the substrate (pull rounds, median dynamics,
+// tournaments); this bench measures the headline algorithms end-to-end:
+// approx_quantile (2-TOURNAMENT + 3-TOURNAMENT) and exact_quantile
+// (Algorithm 3, including scatter-based push-sum counting and the Step-7
+// token split) at n = 10^5 … 10^7 with thread sweeps.
+//
+// Every engine configuration computes bit-identical results, round counts,
+// and Metrics to the sequential path (pinned by tests/test_engine.cpp), so
+// the tables are pure throughput comparisons.  GQ_BENCH_FAST=1 skips the
+// 10^7 sweep; GQ_BENCH_SMOKE=1 shrinks everything to CI-smoke scale.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/exact_quantile.hpp"
+#include "engine/engine.hpp"
+#include "engine/pipelines.hpp"
+#include "sim/network.hpp"
+#include "workload/distributions.hpp"
+
+namespace gq {
+namespace {
+
+constexpr unsigned kThreadSweep[] = {1, 2, 4, 8};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Million node-rounds per second: rounds are taken from the run itself so
+// sequential and engine rows are normalised identically.
+double mnrs(std::uint64_t nodes, std::uint64_t rounds, double secs) {
+  return static_cast<double>(nodes) * static_cast<double>(rounds) / secs / 1e6;
+}
+
+void approx_table(std::uint32_t n) {
+  const auto values = generate_values(Distribution::kUniformReal, n, 171);
+  ApproxQuantileParams params;
+  params.phi = 0.5;
+  params.eps = 0.1;
+
+  bench::Table table(
+      {"executor", "threads", "rounds", "Mnode-rounds/s", "speedup"});
+  double seq_secs;
+  std::uint64_t rounds;
+  {
+    Network net(n, 1234);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = approx_quantile(net, values, params);
+    seq_secs = seconds_since(t0);
+    rounds = r.rounds;
+    table.add_row({"Network (sequential)", "1", bench::fmt_u(rounds),
+                   bench::fmt(mnrs(n, rounds, seq_secs)), "1.00"});
+  }
+  for (unsigned threads : kThreadSweep) {
+    Engine engine(n, 1234, FailureModel{}, EngineConfig{.threads = threads});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = approx_quantile(engine, values, params);
+    const double secs = seconds_since(t0);
+    table.add_row({"Engine pipeline", std::to_string(threads),
+                   bench::fmt_u(r.rounds), bench::fmt(mnrs(n, r.rounds, secs)),
+                   bench::fmt(seq_secs / secs)});
+  }
+  table.print();
+}
+
+void exact_table(std::uint32_t n) {
+  const auto values = generate_values(Distribution::kUniformReal, n, 173);
+  ExactQuantileParams params;
+  params.phi = 0.5;
+
+  bench::Table table(
+      {"executor", "threads", "rounds", "Mnode-rounds/s", "speedup"});
+  double seq_secs;
+  {
+    Network net(n, 4321);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = exact_quantile(net, values, params);
+    seq_secs = seconds_since(t0);
+    table.add_row({"Network (sequential)", "1", bench::fmt_u(r.rounds),
+                   bench::fmt(mnrs(n, r.rounds, seq_secs)), "1.00"});
+  }
+  for (unsigned threads : kThreadSweep) {
+    Engine engine(n, 4321, FailureModel{}, EngineConfig{.threads = threads});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = exact_quantile(engine, values, params);
+    const double secs = seconds_since(t0);
+    table.add_row({"Engine pipeline", std::to_string(threads),
+                   bench::fmt_u(r.rounds), bench::fmt(mnrs(n, r.rounds, secs)),
+                   bench::fmt(seq_secs / secs)});
+  }
+  table.print();
+}
+
+void run() {
+  bench::print_header(
+      "E-PIPE", "engine-native quantile pipelines at scale",
+      "engineering: approx_quantile and exact_quantile run end-to-end on "
+      "the sharded engine (scatter-based push patterns included) with "
+      "bit-identical results, turning thread count into pure speedup");
+  std::printf("hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const std::uint32_t k100k = bench::smoke_capped(100000);
+  const std::uint32_t kMillion = bench::smoke_capped(1000000);
+
+  std::printf("## approx_quantile (phi=0.5, eps=0.1), n = %u\n\n", k100k);
+  approx_table(k100k);
+  if (!bench::smoke_mode()) {
+    std::printf("\n## approx_quantile (phi=0.5, eps=0.1), n = %u\n\n",
+                kMillion);
+    approx_table(kMillion);
+    if (!bench::fast_mode()) {
+      std::printf("\n## approx_quantile (phi=0.5, eps=0.1), n = 10^7\n\n");
+      approx_table(10000000);
+    }
+  }
+
+  std::printf("\n## exact_quantile (phi=0.5), n = %u\n\n", k100k);
+  exact_table(k100k);
+  if (!bench::smoke_mode()) {
+    std::printf("\n## exact_quantile (phi=0.5), n = %u\n\n", kMillion);
+    exact_table(kMillion);
+  }
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

@@ -9,14 +9,15 @@ namespace gq {
 namespace {
 
 // A push-sum message carries two reals (value mass, weight mass).
-constexpr std::uint64_t kPushSumMessageBits = 128;
+constexpr std::uint64_t kPushSumMessageBits = push_sum_message_bits(1);
 
 std::uint64_t ceil_log2(std::uint64_t n) {
   return static_cast<std::uint64_t>(std::bit_width(n - 1));
 }
 
-std::uint64_t scale_for_failures(const Network& net, std::uint64_t rounds) {
-  const double mu = net.failures().max_probability();
+std::uint64_t scale_for_failures(const FailureModel& failures,
+                                 std::uint64_t rounds) {
+  const double mu = failures.max_probability();
   if (mu <= 0.0) return rounds;
   return static_cast<std::uint64_t>(
       std::ceil(static_cast<double>(rounds) / (1.0 - mu)));
@@ -24,15 +25,25 @@ std::uint64_t scale_for_failures(const Network& net, std::uint64_t rounds) {
 
 }  // namespace
 
-std::uint64_t push_sum_rounds_for_exact(const Network& net) {
+std::uint64_t push_sum_rounds_for_exact(std::uint32_t n,
+                                        const FailureModel& failures) {
   // Calibrated: the rounding cliff (first integer-exact counts across all
   // nodes) sits near 2 log2 n + 30 for n up to 2^18; this schedule clears
   // it with ~1/3 margin.  See EXPERIMENTS.md (counting calibration).
-  return scale_for_failures(net, 3 * ceil_log2(net.size()) + 20);
+  return scale_for_failures(failures, 3 * ceil_log2(n) + 20);
+}
+
+std::uint64_t push_sum_rounds_for_exact(const Network& net) {
+  return push_sum_rounds_for_exact(net.size(), net.failures());
+}
+
+std::uint64_t push_sum_rounds_default(std::uint32_t n,
+                                      const FailureModel& failures) {
+  return scale_for_failures(failures, 3 * ceil_log2(n) + 20);
 }
 
 std::uint64_t push_sum_rounds_default(const Network& net) {
-  return scale_for_failures(net, 3 * ceil_log2(net.size()) + 20);
+  return push_sum_rounds_default(net.size(), net.failures());
 }
 
 PushSumResult push_sum_average(Network& net, std::span<const double> x,

@@ -30,12 +30,26 @@ struct PushSumResult {
 
 // Number of rounds after which every node's estimate has relative error
 // below roughly n^-3 w.h.p. in the failure-free model; scaled by 1/(1-mu)
-// under failures.  Used as the default by the helpers below.
+// under failures.  Used as the default by the helpers below.  The
+// (n, failures) overloads are the pure round-schedule logic shared with the
+// parallel engine's batched counting kernels — both executors must derive
+// identical schedules or their Metrics drift apart.
+[[nodiscard]] std::uint64_t push_sum_rounds_for_exact(
+    std::uint32_t n, const FailureModel& failures);
 [[nodiscard]] std::uint64_t push_sum_rounds_for_exact(const Network& net);
 
 // Shorter default for applications that only need a constant-factor
 // approximation of an average.
+[[nodiscard]] std::uint64_t push_sum_rounds_default(
+    std::uint32_t n, const FailureModel& failures);
 [[nodiscard]] std::uint64_t push_sum_rounds_default(const Network& net);
+
+// A push-sum message carries the value masses plus one weight word; the
+// D-dimensional protocol sends D+1 reals.  Shared with the engine kernels.
+[[nodiscard]] constexpr std::uint64_t push_sum_message_bits(
+    std::size_t dims) noexcept {
+  return 64 * (dims + 1);
+}
 
 // Runs push-sum for `rounds` rounds (0 = push_sum_rounds_default) and
 // returns every node's estimate of avg(x).  x.size() must equal net.size().
@@ -66,7 +80,7 @@ MultiPushSumResult<D> push_sum_average_multi(
   const std::uint32_t n = net.size();
   GQ_REQUIRE(x.size() == n, "one input vector per node required");
   if (rounds == 0) rounds = push_sum_rounds_default(net);
-  const std::uint64_t bits = 64 * (D + 1);
+  const std::uint64_t bits = push_sum_message_bits(D);
 
   std::vector<std::array<double, D>> s(x.begin(), x.end());
   std::vector<double> w(n, 1.0);

@@ -17,14 +17,19 @@ SpreadResult to_key_result(GenericSpreadResult<Key>&& g) {
 
 }  // namespace
 
-std::uint64_t spread_rounds_cap(const Network& net) {
+std::uint64_t spread_rounds_cap(std::uint32_t n,
+                                const FailureModel& failures) {
   const auto log2n = static_cast<std::uint64_t>(
-      std::bit_width(static_cast<std::uint64_t>(net.size()) - 1));
+      std::bit_width(static_cast<std::uint64_t>(n) - 1));
   const std::uint64_t base = 8 * log2n + 50;
-  const double mu = net.failures().max_probability();
+  const double mu = failures.max_probability();
   if (mu <= 0.0) return base;
   return static_cast<std::uint64_t>(
       std::ceil(static_cast<double>(base) / (1.0 - mu)));
+}
+
+std::uint64_t spread_rounds_cap(const Network& net) {
+  return spread_rounds_cap(net.size(), net.failures());
 }
 
 SpreadResult spread_max(Network& net, std::span<const Key> init,

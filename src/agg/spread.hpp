@@ -24,7 +24,10 @@
 namespace gq {
 
 // Default cap on spreading rounds: generous multiple of log2 n, scaled for
-// failures.
+// failures.  The (n, failures) overload is the pure schedule shared with
+// the parallel engine's batched spread kernels.
+[[nodiscard]] std::uint64_t spread_rounds_cap(std::uint32_t n,
+                                              const FailureModel& failures);
 [[nodiscard]] std::uint64_t spread_rounds_cap(const Network& net);
 
 template <typename T>

@@ -1,0 +1,383 @@
+// The executor-independent control flow of Algorithm 3 (exact quantile).
+//
+// exact_quantile historically lived as one Network-bound function; porting
+// it to the parallel engine would have meant duplicating ~250 lines of
+// bracketing bookkeeping whose every branch is observable in round counts
+// and Metrics — a bit-identity hazard.  Instead the pipeline is templated
+// over an `Ops` provider supplying the gossip substrates, and both
+// executors instantiate the SAME control flow:
+//
+//   * core/exact_quantile.cpp  — Ops over the sequential Network
+//     (agg/spread, agg/rank_count, core/pivot, core/token_split);
+//   * engine/pipelines.cpp     — Ops over the parallel Engine's batched
+//     kernels (scatter-based push-sum, token split, spreads).
+//
+// Bit-identity of the two paths then reduces to bit-identity of each
+// primitive, which tests/test_engine.cpp pins kernel by kernel.
+//
+// The Ops concept (duck-typed; see NetworkExactOps / EngineExactOps):
+//   uint32_t  size();
+//   const Metrics& metrics();
+//   ApproxQuantileResult approx(span<const Key>, const ApproxQuantileParams&);
+//   SpreadResult spread_min_keys(span<const Key>);
+//   SpreadResult spread_max_keys(span<const Key>);
+//   CountResult  count(const vector<bool>&);
+//   CountResult  rank(span<const Key>, const Key&);
+//   TripleCountResult count3(const vector<bool>&, ..., ...);
+//   PivotSample  pivot(span<const Key>, const vector<bool>&);
+//   TokenSplitResult token_split(span<const Key>, uint64_t m, uint64_t tag);
+//   uint64_t exact_count_rounds();   // cost-model input
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "agg/rank_count.hpp"
+#include "agg/spread.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "core/params.hpp"
+#include "core/pivot.hpp"
+#include "core/result.hpp"
+#include "core/token_split.hpp"
+#include "sim/key.hpp"
+#include "sim/metrics.hpp"
+#include "util/require.hpp"
+
+namespace gq::exact_detail {
+
+struct PipelineOutcome {
+  Key answer = Key::infinite();
+  std::vector<Key> outputs;
+  std::vector<bool> valid;
+  std::size_t iterations = 0;
+  std::size_t endgame_phases = 0;
+};
+
+// Broadcasts the smallest finite key among `contributions` to every node.
+template <typename Ops>
+Key broadcast_min_finite(Ops& ops, std::vector<Key> contributions,
+                         std::vector<Key>& outputs) {
+  const SpreadResult sr = ops.spread_min_keys(contributions);
+  GQ_REQUIRE(sr.converged && sr.values.front().is_finite(),
+             "answer broadcast failed to converge on a finite key");
+  outputs = sr.values;
+  return sr.values.front();
+}
+
+// Uniform-pivot selection phases (shared mechanics with the KDG03
+// baseline): find the key of rank k within `inst` and broadcast it.
+template <typename Ops>
+PipelineOutcome selection_endgame(Ops& ops, std::vector<Key>& inst,
+                                  std::uint64_t k,
+                                  const ExactQuantileParams& params,
+                                  std::size_t iterations_so_far) {
+  const std::uint32_t n = ops.size();
+  PipelineOutcome out;
+  out.iterations = iterations_so_far;
+
+  Key lo_e = Key::neg_infinite();
+  Key hi_e = Key::infinite();
+  std::vector<bool> candidate(n);
+  for (std::uint32_t phase = 0; phase < params.max_endgame_phases; ++phase) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      candidate[v] =
+          inst[v].is_finite() && lo_e < inst[v] && inst[v] < hi_e;
+    }
+    const PivotSample pv = ops.pivot(inst, candidate);
+    if (!pv.found) {
+      throw std::runtime_error(
+          "selection endgame ran out of candidates (count inconsistency)");
+    }
+    ++out.endgame_phases;
+    const std::uint64_t rank = ops.rank(inst, pv.pivot).counts[0];
+    if (rank == k) {
+      out.answer = pv.pivot;
+      out.outputs.assign(n, pv.pivot);
+      out.valid.assign(n, true);
+      return out;
+    }
+    if (rank > k) {
+      hi_e = pv.pivot;
+    } else {
+      lo_e = pv.pivot;
+    }
+  }
+  throw std::runtime_error("selection endgame did not converge");
+}
+
+// Predicted round costs used by ExactStrategy::kAuto.  These only steer the
+// strategy choice; all reported costs are measured, not predicted.
+struct CostModel {
+  double per_endgame_phase;  // pivot spread + exact count
+  double per_iteration;      // 2 approx runs + 2 spreads + triple count + tokens
+
+  static CostModel build(std::uint32_t n, std::uint64_t exact_count_rounds,
+                         double slack) {
+    const auto nd = static_cast<double>(n);
+    const double log2n = std::log2(nd);
+    const double count_rounds = static_cast<double>(exact_count_rounds);
+    const double spread_rounds = 2.0 * log2n + 10.0;
+    const double approx_rounds =
+        3.0 * (phase1_iteration_bound(slack) +
+               phase2_iteration_bound(slack / 4.0, n)) +
+        20.0;
+    CostModel m{};
+    m.per_endgame_phase = 1.0 + spread_rounds + count_rounds;
+    m.per_iteration = 2.0 * approx_rounds + 2.0 * spread_rounds +
+                      count_rounds + log2n + 10.0;
+    return m;
+  }
+};
+
+template <typename Ops>
+PipelineOutcome run_pipeline(Ops& ops, std::span<const Key> keys,
+                             const ExactQuantileParams& params) {
+  const std::uint32_t n = ops.size();
+  const auto nd = static_cast<double>(n);
+
+  // Target rank among the original keys.
+  std::uint64_t k = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(params.phi * nd)), 1, n);
+
+  // Per-iteration slack (see ExactQuantileParams::slack).
+  const double s = params.slack > 0.0
+                       ? params.slack
+                       : eps_tournament_floor(n);
+  GQ_REQUIRE(s > 0.0 && s < 0.5, "bracketing slack must lie in (0, 1/2)");
+  // The answer block must cover the final run's rank window [k-3sn, k-sn].
+  const std::uint64_t block_target =
+      static_cast<std::uint64_t>(std::ceil(3.0 * s * nd)) + 1;
+
+  std::vector<Key> inst(keys.begin(), keys.end());
+  std::uint64_t block = 1;  // ranks (k-block, k] of inst all hold the answer
+  PipelineOutcome out;
+
+  ApproxQuantileParams inner;
+  inner.eps = s;
+  // The brackets take the min/max over ALL nodes' outputs, so a single
+  // tail outlier inflates the window.  K = 31 drives the per-node outlier
+  // probability below 1/poly(n) (Lemma 2.17 amplification).
+  inner.final_sample_size = 31;
+
+  while (true) {
+    if (block >= k) {
+      // The answer block covers every rank <= k, so the smallest surviving
+      // key is an answer copy; one min-broadcast finishes (this is also the
+      // phi ~ 0 fast path, where k0 = 1 makes the input minimum the answer).
+      std::vector<Key> contributions = inst;
+      out.answer =
+          broadcast_min_finite(ops, std::move(contributions), out.outputs);
+      out.valid.assign(n, true);
+      return out;
+    }
+    if (block >= block_target) {
+      // Step 10: one approximate query lands every node inside the answer
+      // block; broadcast the smallest output to serve stragglers.
+      inner.phi = std::clamp(static_cast<double>(k) / nd - 2.0 * s, 0.0, 1.0);
+      ApproxQuantileResult fin = ops.approx(inst, inner);
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (!fin.valid[v]) fin.outputs[v] = Key::infinite();
+      }
+      out.answer = broadcast_min_finite(ops, std::move(fin.outputs),
+                                        out.outputs);
+      out.valid.assign(n, true);
+      return out;
+    }
+    if (out.iterations >= params.max_iterations) {
+      return selection_endgame(ops, inst, k, params, out.iterations);
+    }
+    ++out.iterations;
+
+    // Steps 3-4: bracket the k/n-quantile from both sides and spread the
+    // extremes.
+    inner.phi = std::clamp(static_cast<double>(k) / nd - s, 0.0, 1.0);
+    ApproxQuantileResult r_lo = ops.approx(inst, inner);
+    inner.phi = std::clamp(static_cast<double>(k) / nd + s, 0.0, 1.0);
+    ApproxQuantileResult r_hi = ops.approx(inst, inner);
+
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!r_lo.valid[v]) r_lo.outputs[v] = Key::infinite();
+      if (!r_hi.valid[v]) r_hi.outputs[v] = Key::neg_infinite();
+    }
+    const SpreadResult s_lo = ops.spread_min_keys(r_lo.outputs);
+    const SpreadResult s_hi = ops.spread_max_keys(r_hi.outputs);
+    const Key lo = s_lo.values.front();
+    const Key hi = s_hi.values.front();
+    // A bracket can degenerate when an inner run misses its w.h.p. window
+    // (e.g. the upper run lands on a valueless node's +inf key).  A
+    // one-sided miss is tolerated by dropping that side's filter below;
+    // a two-sided or crossed miss makes the iteration useless.
+    const bool lo_ok = lo.is_finite();
+    const bool hi_ok = hi.is_finite();
+    if ((!lo_ok && !hi_ok) || (lo_ok && hi_ok && hi < lo)) {
+      if (params.strategy == ExactStrategy::kPreferDuplication) {
+        continue;  // re-bracket with fresh randomness
+      }
+      return selection_endgame(ops, inst, k, params, out.iterations);
+    }
+
+    // Step 5: exact counts — A = rank(lo), B = rank(hi), F = #valued — in
+    // one diffusion.
+    std::vector<bool> ind_a(n), ind_b(n), ind_c(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      ind_a[v] = inst[v] <= lo;
+      ind_b[v] = inst[v] <= hi;
+      ind_c[v] = inst[v].is_finite();
+    }
+    const TripleCountResult cnt = ops.count3(ind_a, ind_b, ind_c);
+    const std::uint64_t rank_lo = cnt.a.front();
+    const std::uint64_t rank_hi = cnt.b.front();
+    const std::uint64_t finite_cnt = cnt.c.front();
+
+    // Exactness of the counts makes these guards sound: a bracket is used
+    // only if it provably does not cut the answer away.
+    const bool use_lo = lo_ok && rank_lo >= 1 && rank_lo <= k;
+    const bool use_hi = hi_ok && rank_hi >= k;
+    // Diagnostic trace for development and experiment debugging.
+    if (std::getenv("GQ_EXACT_TRACE") != nullptr) {
+      std::fprintf(stderr,
+                   "[exact] iter=%zu k=%llu block=%llu/%llu A=%llu B=%llu "
+                   "F=%llu use_lo=%d use_hi=%d\n",
+                   out.iterations, static_cast<unsigned long long>(k),
+                   static_cast<unsigned long long>(block),
+                   static_cast<unsigned long long>(block_target),
+                   static_cast<unsigned long long>(rank_lo),
+                   static_cast<unsigned long long>(rank_hi),
+                   static_cast<unsigned long long>(finite_cnt),
+                   use_lo ? 1 : 0, use_hi ? 1 : 0);
+    }
+    if (!use_lo && !use_hi) {
+      if (params.strategy == ExactStrategy::kPreferDuplication) {
+        continue;  // re-bracket with fresh randomness
+      }
+      return selection_endgame(ops, inst, k, params, out.iterations);
+    }
+
+    // Step 6: discard values outside [lo, hi].
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if ((use_lo && inst[v] < lo) || (use_hi && hi < inst[v])) {
+        inst[v] = Key::infinite();
+      }
+    }
+    const std::uint64_t removed_below = use_lo ? rank_lo - 1 : 0;
+    k -= removed_below;
+    block = std::min(block, k);
+    const std::uint64_t survivors =
+        (use_hi ? rank_hi : finite_cnt) - removed_below;
+    if (survivors == 0) {
+      throw std::runtime_error("bracketing removed every candidate");
+    }
+    if (block >= k) continue;  // finish via the min-broadcast fast path
+
+    // Steps 7-8: duplication.  The paper targets n^0.99 total tokens via
+    // m = smallest power of two exceeding (n^0.99/2)/survivors; we take the
+    // LARGEST power of two fitting the same target (bounded by 4n/5 so
+    // scattering keeps a constant fraction of empty nodes), which dominates
+    // the paper's choice whenever it fits and maximizes block growth.
+    const double token_target = std::min(std::pow(nd, 0.99), 0.8 * nd);
+    std::uint64_t m = 1;
+    while (static_cast<double>(2 * m) * static_cast<double>(survivors) <=
+           token_target) {
+      m *= 2;
+    }
+
+    bool go_endgame = false;
+    switch (params.strategy) {
+      case ExactStrategy::kPreferEndgame:
+        go_endgame = true;
+        break;
+      case ExactStrategy::kPreferDuplication:
+        // A degenerate multiplier usually means an outlier widened the
+        // window; re-bracketing with fresh randomness shrinks it again, so
+        // keep iterating (max_iterations still bounds the loop).
+        go_endgame = false;
+        break;
+      case ExactStrategy::kAuto: {
+        if (m < 2) {
+          go_endgame = block < block_target;
+        } else {
+          // Compare predicted costs of finishing by duplication vs by
+          // selection phases; both finish, this only picks the cheaper.
+          // The duplication route terminates when the block reaches either
+          // block_target or k itself (the min-broadcast fast path).
+          const CostModel cost =
+              CostModel::build(n, ops.exact_count_rounds(), s);
+          const double goal = static_cast<double>(
+              std::min<std::uint64_t>(block_target, k));
+          const double dup_iters = std::max(
+              1.0, std::ceil(std::log(goal / static_cast<double>(block)) /
+                             std::log(static_cast<double>(m))));
+          // Uniform pivots shave ~log2(4/3) candidates per phase; 1.6x
+          // log2 matches the measured phase counts.
+          const double endgame_phases =
+              1.6 * std::log2(std::max(2.0, static_cast<double>(survivors))) +
+              4.0;
+          go_endgame = endgame_phases * cost.per_endgame_phase <
+                       dup_iters * cost.per_iteration;
+        }
+        break;
+      }
+    }
+    if (go_endgame) {
+      return selection_endgame(ops, inst, k, params, out.iterations);
+    }
+    if (m >= 2) {
+      const TokenSplitResult ts = ops.token_split(
+          inst, m, static_cast<std::uint64_t>(out.iterations) << 32);
+      inst = ts.instance;
+      k *= m;
+      block *= m;
+    }
+    // m == 1 with block >= block_target falls through to the final run.
+  }
+}
+
+// The full entry point: pipeline, verification against the original input,
+// and the w.h.p.-never retry loop.
+template <typename Ops>
+ExactQuantileResult exact_quantile_keys_impl(
+    Ops& ops, std::span<const Key> keys, const ExactQuantileParams& params) {
+  const std::uint32_t n = ops.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+
+  const auto nd = static_cast<double>(n);
+  const std::uint64_t k0 = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(params.phi * nd)), 1, n);
+  const Metrics before = ops.metrics();
+
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const PipelineOutcome pipe = run_pipeline(ops, keys, params);
+
+    // Verification: the answer's rank among the ORIGINAL keys must be
+    // exactly k0.  The probe's maximal tag matches every duplication copy
+    // of the answer's (value, id).
+    const Key probe{pipe.answer.value, pipe.answer.id,
+                    std::numeric_limits<std::uint64_t>::max()};
+    std::vector<bool> indicator(n);
+    for (std::uint32_t v = 0; v < n; ++v) indicator[v] = keys[v] <= probe;
+    const std::uint64_t measured = ops.count(indicator).counts.front();
+    if (measured != k0) continue;  // retry with fresh randomness
+
+    ExactQuantileResult out;
+    out.answer = Key{pipe.answer.value, pipe.answer.id, 0};
+    out.outputs.assign(n, out.answer);
+    out.valid = pipe.valid;
+    out.iterations = pipe.iterations;
+    out.endgame_phases = pipe.endgame_phases;
+    out.rounds = ops.metrics().rounds - before.rounds;
+    return out;
+  }
+  throw std::runtime_error(
+      "exact_quantile failed verification after repeated attempts");
+}
+
+}  // namespace gq::exact_detail

@@ -4,21 +4,9 @@
 #include "util/require.hpp"
 
 namespace gq {
-namespace {
 
-struct PriorityKey {
-  std::uint64_t priority = 0;  // 0 = not a candidate
-  Key key = Key::infinite();
-};
-
-struct PriorityLess {
-  bool operator()(const PriorityKey& a, const PriorityKey& b) const {
-    if (a.priority != b.priority) return a.priority < b.priority;
-    return a.key < b.key;
-  }
-};
-
-}  // namespace
+using pivot_detail::PriorityKey;
+using pivot_detail::PriorityLess;
 
 PivotSample sample_uniform_candidate(Network& net, std::span<const Key> inst,
                                      const std::vector<bool>& candidate) {
@@ -43,7 +31,7 @@ PivotSample sample_uniform_candidate(Network& net, std::span<const Key> inst,
 
   const GenericSpreadResult<PriorityKey> spread = spread_best(
       net, std::span<const PriorityKey>(pairs), PriorityLess{},
-      /*bits_per_message=*/64 + key_bits(n));
+      pivot_detail::priority_key_bits(n));
 
   PivotSample out;
   out.rounds = 1 + spread.rounds;

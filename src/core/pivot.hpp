@@ -20,6 +20,31 @@ struct PivotSample {
   bool found = false;  // false iff no candidate participated
 };
 
+namespace pivot_detail {
+
+// The spread payload: priority 0 marks non-candidates; ties (never expected
+// from 64-bit draws) break towards the larger key.  Shared between the
+// sequential protocol and the engine kernel so both spread identical pairs.
+struct PriorityKey {
+  std::uint64_t priority = 0;  // 0 = not a candidate
+  Key key = Key::infinite();
+};
+
+struct PriorityLess {
+  bool operator()(const PriorityKey& a, const PriorityKey& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.key < b.key;
+  }
+};
+
+// Message size of one (priority, key) pair.
+[[nodiscard]] constexpr std::uint64_t priority_key_bits(
+    std::uint32_t n) noexcept {
+  return 64 + key_bits(n);
+}
+
+}  // namespace pivot_detail
+
 // candidate[v] marks whether node v's key inst[v] competes.
 [[nodiscard]] PivotSample sample_uniform_candidate(
     Network& net, std::span<const Key> inst,

@@ -7,17 +7,6 @@
 #include "util/require.hpp"
 
 namespace gq {
-namespace {
-
-struct Token {
-  Key key;
-  std::uint64_t weight = 1;
-};
-
-// A token message carries a key plus a weight word.
-std::uint64_t token_bits(std::uint32_t n) { return key_bits(n) + 64; }
-
-}  // namespace
 
 TokenSplitResult token_split_distribute(Network& net,
                                         std::span<const Key> inst,
@@ -41,7 +30,7 @@ TokenSplitResult token_split_distribute(Network& net,
 
   TokenSplitResult out;
   out.token_count = multiplier * finite;
-  const std::uint64_t bits = token_bits(n);
+  const std::uint64_t bits = token_message_bits(n, multiplier);
   const auto log2n = static_cast<std::uint64_t>(
       std::bit_width(static_cast<std::uint64_t>(n)));
   const std::uint64_t round_cap = 64 * log2n + 512;

@@ -14,8 +14,13 @@
 // The surviving assignment becomes the next instance: a node holding a
 // token adopts the token's (value, id) under a fresh duplication tag;
 // everyone else becomes valueless.
+//
+// Messages are billed at token_message_bits(n, multiplier): one key plus a
+// weight field of bit_width(multiplier) bits (weights only halve from
+// multiplier, so a flat word would overstate the traffic).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -24,6 +29,22 @@
 #include "sim/network.hpp"
 
 namespace gq {
+
+// One in-flight duplication unit.  Shared between the sequential protocol
+// and the engine's batched kernel so the two paths cannot drift.
+struct Token {
+  Key key;
+  std::uint64_t weight = 1;
+};
+
+// A token message carries a key plus its weight.  Weights never exceed
+// `multiplier` (they only halve from there), so the weight field is billed
+// at bit_width(multiplier) bits rather than a flat word.
+[[nodiscard]] constexpr std::uint64_t token_message_bits(
+    std::uint32_t n, std::uint64_t multiplier) noexcept {
+  return key_bits(n) +
+         static_cast<std::uint64_t>(std::bit_width(multiplier));
+}
 
 struct TokenSplitResult {
   std::vector<Key> instance;   // new per-node instance (infinite = valueless)

@@ -114,6 +114,12 @@ class Engine {
       std::function<void(std::uint32_t begin, std::uint32_t end, Metrics& local)>;
   void parallel_shards(const ShardFn& fn);
 
+  // The underlying worker pool, for engine subsystems (e.g. the scatter
+  // primitive's delivery pass) that parallelise over units other than the
+  // node shards.  Callers own their determinism: tasks must write disjoint
+  // slots and must not touch the engine's Metrics.
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
   // ---- batched whole-round kernels -------------------------------------
 
   // One synchronous round in which every node attempts a single pull of a

@@ -1,0 +1,640 @@
+#include "engine/pipelines.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "agg/push_sum.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "core/exact_pipeline.hpp"
+#include "engine/kernels.hpp"
+#include "engine/scatter.hpp"
+#include "util/require.hpp"
+#include "workload/tiebreak.hpp"
+
+namespace gq {
+namespace {
+
+// Index of the shard whose node range starts at `begin`.
+std::size_t shard_index(const Engine& engine, std::uint32_t begin) {
+  return begin / engine.config().shard_size;
+}
+
+// ---- generic extreme-spreading -------------------------------------------
+//
+// The batched twin of agg/spread.hpp's spread_best: same target (the global
+// best under `less`, found shard-wise in shard order), same per-round fold,
+// same convergence checks, so round counts and Metrics match the sequential
+// loop exactly.  The per-shard done flags are folded into the round kernel
+// so the omniscient all-agree check costs no extra parallel section.
+template <typename T, typename Less>
+GenericSpreadResult<T> engine_spread_best(Engine& engine,
+                                          std::span<const T> init, Less less,
+                                          std::uint64_t bits_per_message,
+                                          std::uint64_t max_rounds = 0) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(init.size() == n, "one payload per node required");
+  if (max_rounds == 0) {
+    max_rounds = spread_rounds_cap(n, engine.failures());
+  }
+
+  std::vector<T> cur(init.begin(), init.end());
+  const std::size_t shards = engine.num_shards();
+
+  // The global best: per-shard first-maximum, combined in shard order —
+  // equivalent to std::max_element's first-maximum over the whole range.
+  std::vector<T> shard_best(shards);
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        T best = cur[begin];
+        for (std::uint32_t v = begin + 1; v < end; ++v) {
+          if (less(best, cur[v])) best = cur[v];
+        }
+        shard_best[shard_index(engine, begin)] = best;
+      });
+  T target = shard_best[0];
+  for (std::size_t s = 1; s < shards; ++s) {
+    if (less(target, shard_best[s])) target = shard_best[s];
+  }
+
+  const auto equivalent = [&](const T& k) {
+    return !less(k, target) && !less(target, k);
+  };
+
+  GenericSpreadResult<T> out;
+  std::vector<T> next(n);
+  std::vector<std::uint8_t> done(shards, 0);
+  std::vector<std::uint32_t> peers(n);
+
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        std::uint8_t flag = 1;
+        for (std::uint32_t v = begin; v < end; ++v) {
+          if (!equivalent(cur[v])) {
+            flag = 0;
+            break;
+          }
+        }
+        done[shard_index(engine, begin)] = flag;
+      });
+  const auto all_done = [&] {
+    return std::all_of(done.begin(), done.end(),
+                       [](std::uint8_t f) { return f != 0; });
+  };
+
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    if (all_done()) {
+      out.converged = true;
+      break;
+    }
+    engine.pull_round(bits_per_message, peers);
+    ++out.rounds;
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          std::uint8_t flag = 1;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            const std::uint32_t p = peers[v];
+            next[v] = (p != Engine::kNoPeer && less(cur[v], cur[p])) ? cur[p]
+                                                                     : cur[v];
+            if (!equivalent(next[v])) flag = 0;
+          }
+          done[shard_index(engine, begin)] = flag;
+        });
+    cur.swap(next);
+  }
+  if (!out.converged) out.converged = all_done();
+  out.values = std::move(cur);
+  return out;
+}
+
+// ---- push-sum on the scatter primitive -----------------------------------
+//
+// The batched twin of push_sum_average_multi: per round, every node halves
+// its masses and scatters one message; the scatter delivers each
+// destination's incoming masses in ascending sender order, which is the
+// exact floating-point fold order of the sequential for-loop.
+template <std::size_t D>
+MultiPushSumResult<D> engine_push_sum_average_multi(
+    Engine& engine, std::span<const std::array<double, D>> x,
+    std::uint64_t rounds) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(x.size() == n, "one input vector per node required");
+  if (rounds == 0) rounds = push_sum_rounds_default(n, engine.failures());
+  const std::uint64_t bits = push_sum_message_bits(D);
+
+  struct Mass {
+    std::array<double, D> s;
+    double w;
+  };
+
+  std::vector<std::array<double, D>> s(x.begin(), x.end());
+  std::vector<double> w(n, 1.0);
+  std::vector<std::array<double, D>> s_in(n);
+  std::vector<double> w_in(n);
+  std::vector<std::uint32_t> dests(n);
+  Scatter<Mass> scatter(engine);
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    engine.push_round(bits, dests);
+    scatter.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            const std::uint32_t d = dests[v];
+            if (d == Engine::kNoPeer) continue;  // failed: keeps whole pair
+            Mass m;
+            for (std::size_t j = 0; j < D; ++j) {
+              s[v][j] *= 0.5;
+              m.s[j] = s[v][j];
+            }
+            w[v] *= 0.5;
+            m.w = w[v];
+            scatter.send(v, d, m);
+          }
+        });
+    scatter.deliver(
+        engine,
+        [&](std::uint32_t first, std::uint32_t last) {
+          for (std::uint32_t v = first; v < last; ++v) {
+            s_in[v].fill(0.0);
+            w_in[v] = 0.0;
+          }
+        },
+        [&](std::uint32_t dest, const Mass& m) {
+          for (std::size_t j = 0; j < D; ++j) s_in[dest][j] += m.s[j];
+          w_in[dest] += m.w;
+        });
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            for (std::size_t j = 0; j < D; ++j) s[v][j] += s_in[v][j];
+            w[v] += w_in[v];
+          }
+        });
+  }
+
+  MultiPushSumResult<D> out;
+  out.rounds = rounds;
+  out.estimates.resize(n);
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          for (std::size_t j = 0; j < D; ++j) {
+            out.estimates[v][j] = s[v][j] / w[v];
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+// ---- batched collectives --------------------------------------------------
+
+SpreadResult spread_min(Engine& engine, std::span<const Key> init,
+                        std::uint64_t max_rounds) {
+  GenericSpreadResult<Key> g = engine_spread_best(
+      engine, init, std::greater<Key>{}, key_bits(engine.size()), max_rounds);
+  SpreadResult out;
+  out.values = std::move(g.values);
+  out.rounds = g.rounds;
+  out.converged = g.converged;
+  return out;
+}
+
+SpreadResult spread_max(Engine& engine, std::span<const Key> init,
+                        std::uint64_t max_rounds) {
+  GenericSpreadResult<Key> g = engine_spread_best(
+      engine, init, std::less<Key>{}, key_bits(engine.size()), max_rounds);
+  SpreadResult out;
+  out.values = std::move(g.values);
+  out.rounds = g.rounds;
+  out.converged = g.converged;
+  return out;
+}
+
+CountResult gossip_count(Engine& engine, const std::vector<bool>& indicator,
+                         std::uint64_t rounds) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(indicator.size() == n, "one indicator bit per node required");
+  if (rounds == 0) rounds = push_sum_rounds_for_exact(n, engine.failures());
+
+  std::vector<std::array<double, 1>> x(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    x[v][0] = indicator[v] ? 1.0 : 0.0;
+  }
+  const MultiPushSumResult<1> sum = engine_push_sum_average_multi<1>(
+      engine, std::span<const std::array<double, 1>>(x), rounds);
+
+  CountResult out;
+  out.rounds = sum.rounds;
+  out.counts.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const double rounded =
+        std::round(sum.estimates[v][0] * static_cast<double>(n));
+    out.counts[v] = rounded <= 0.0 ? 0 : static_cast<std::uint64_t>(rounded);
+  }
+  return out;
+}
+
+CountResult gossip_rank(Engine& engine, std::span<const Key> keys,
+                        const Key& threshold, std::uint64_t rounds) {
+  std::vector<bool> indicator(keys.size());
+  for (std::size_t v = 0; v < keys.size(); ++v) {
+    indicator[v] = keys[v] <= threshold;
+  }
+  return gossip_count(engine, indicator, rounds);
+}
+
+TripleCountResult gossip_count3(Engine& engine,
+                                const std::vector<bool>& ind_a,
+                                const std::vector<bool>& ind_b,
+                                const std::vector<bool>& ind_c,
+                                std::uint64_t rounds) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(ind_a.size() == n && ind_b.size() == n && ind_c.size() == n,
+             "one indicator bit per node required");
+  if (rounds == 0) rounds = push_sum_rounds_for_exact(n, engine.failures());
+
+  std::vector<std::array<double, 3>> x(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    x[v] = {ind_a[v] ? 1.0 : 0.0, ind_b[v] ? 1.0 : 0.0, ind_c[v] ? 1.0 : 0.0};
+  }
+  const MultiPushSumResult<3> avg = engine_push_sum_average_multi<3>(
+      engine, std::span<const std::array<double, 3>>(x), rounds);
+
+  TripleCountResult out;
+  out.rounds = avg.rounds;
+  out.a.resize(n);
+  out.b.resize(n);
+  out.c.resize(n);
+  const auto to_count = [n](double e) {
+    const double rounded = std::round(e * static_cast<double>(n));
+    return rounded <= 0.0 ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(rounded);
+  };
+  for (std::uint32_t v = 0; v < n; ++v) {
+    out.a[v] = to_count(avg.estimates[v][0]);
+    out.b[v] = to_count(avg.estimates[v][1]);
+    out.c[v] = to_count(avg.estimates[v][2]);
+  }
+  return out;
+}
+
+PivotSample sample_uniform_candidate(Engine& engine,
+                                     std::span<const Key> inst,
+                                     const std::vector<bool>& candidate) {
+  using pivot_detail::PriorityKey;
+  using pivot_detail::PriorityLess;
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(inst.size() == n && candidate.size() == n,
+             "one key and one candidate flag per node required");
+
+  // One local round in which every candidate draws its priority; failed
+  // nodes sit this pivot out, which keeps the choice uniform over the
+  // participating candidates.
+  engine.begin_round();
+  std::vector<PriorityKey> pairs(n);
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          if (!candidate[v]) continue;
+          if (engine.node_fails(v)) {
+            ++local.failed_operations;
+            continue;
+          }
+          SplitMix64 stream = engine.node_stream(v);
+          pairs[v] = PriorityKey{stream() | 1ull, inst[v]};
+        }
+      });
+
+  const GenericSpreadResult<PriorityKey> spread = engine_spread_best(
+      engine, std::span<const PriorityKey>(pairs), PriorityLess{},
+      pivot_detail::priority_key_bits(n));
+
+  PivotSample out;
+  out.rounds = 1 + spread.rounds;
+  const PriorityKey& winner = spread.values.front();
+  if (winner.priority != 0 && spread.converged) {
+    out.found = true;
+    out.pivot = winner.key;
+  }
+  return out;
+}
+
+TokenSplitResult token_split_distribute(Engine& engine,
+                                        std::span<const Key> inst,
+                                        std::uint64_t multiplier,
+                                        std::uint64_t tag_base) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(inst.size() == n, "one key per node required");
+  GQ_REQUIRE(multiplier >= 1 && std::has_single_bit(multiplier),
+             "multiplier must be a power of two");
+
+  std::uint64_t finite = 0;
+  for (const Key& k : inst) finite += k.is_finite() ? 1 : 0;
+  GQ_REQUIRE(finite >= 1, "token split needs at least one valued node");
+  GQ_REQUIRE(multiplier * finite <= 4ull * n / 5 + 1,
+             "token count must leave >= n/5 nodes free for scattering");
+
+  std::vector<std::vector<Token>> held(n);
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          if (inst[v].is_finite()) {
+            held[v].push_back(Token{inst[v], multiplier});
+          }
+        }
+      });
+
+  TokenSplitResult out;
+  out.token_count = multiplier * finite;
+  const std::uint64_t bits = token_message_bits(n, multiplier);
+  const auto log2n = static_cast<std::uint64_t>(
+      std::bit_width(static_cast<std::uint64_t>(n)));
+  const std::uint64_t round_cap = 64 * log2n + 512;
+
+  const std::size_t shards = engine.num_shards();
+  std::vector<std::uint8_t> flags(shards, 0);
+  const auto any_flag = [&] {
+    return std::any_of(flags.begin(), flags.end(),
+                       [](std::uint8_t f) { return f != 0; });
+  };
+  Scatter<Token> scatter(engine);
+  const auto append_token = [&](std::uint32_t dest, const Token& t) {
+    held[dest].push_back(t);
+  };
+
+  // Phase A: halve weights.  Each round a node splits at most one of its
+  // weight>1 tokens; the pushed half travels to a uniform node.  A failed
+  // operation leaves the token whole (the Section-5.2 merge-back).
+  while (true) {
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          std::uint8_t heavy = 0;
+          for (std::uint32_t v = begin; v < end && !heavy; ++v) {
+            for (const Token& t : held[v]) {
+              if (t.weight > 1) {
+                heavy = 1;
+                break;
+              }
+            }
+          }
+          flags[shard_index(engine, begin)] = heavy;
+        });
+    if (!any_flag()) break;
+    if (out.rounds > round_cap) {
+      throw std::runtime_error("token splitting did not converge");
+    }
+
+    engine.begin_round();
+    ++out.rounds;
+    scatter.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          std::uint64_t sent = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            auto heavy =
+                std::find_if(held[v].begin(), held[v].end(),
+                             [](const Token& t) { return t.weight > 1; });
+            if (heavy == held[v].end()) continue;
+            if (engine.node_fails(v)) {
+              ++local.failed_operations;
+              continue;
+            }
+            SplitMix64 stream = engine.node_stream(v);
+            const std::uint32_t dest = engine.sample_peer(v, stream);
+            heavy->weight /= 2;
+            scatter.send(v, dest, Token{heavy->key, heavy->weight});
+            ++sent;
+          }
+          local.record_messages(sent, bits);
+        });
+    scatter.deliver(engine, append_token);
+  }
+
+  // Phase B: scatter weight-1 tokens until every node holds at most one.
+  while (true) {
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          std::uint8_t crowded = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (held[v].size() > 1) {
+              crowded = 1;
+              break;
+            }
+          }
+          flags[shard_index(engine, begin)] = crowded;
+        });
+    if (!any_flag()) break;
+    if (out.rounds > 4 * round_cap) {
+      throw std::runtime_error("token scattering did not converge");
+    }
+
+    engine.begin_round();
+    ++out.rounds;
+    scatter.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          std::uint64_t sent = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (held[v].size() < 2) continue;
+            if (engine.node_fails(v)) {
+              ++local.failed_operations;
+              continue;
+            }
+            SplitMix64 stream = engine.node_stream(v);
+            const std::uint32_t dest = engine.sample_peer(v, stream);
+            scatter.send(v, dest, held[v].back());
+            held[v].pop_back();
+            ++sent;
+          }
+          local.record_messages(sent, bits);
+        });
+    scatter.deliver(engine, append_token);
+  }
+
+  out.instance.assign(n, Key::infinite());
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          if (held[v].empty()) continue;
+          const Token& t = held[v].front();
+          out.instance[v] = Key{t.key.value, t.key.id, tag_base + v};
+        }
+      });
+  return out;
+}
+
+// ---- pipelines ------------------------------------------------------------
+
+namespace {
+
+// The engine instantiation of the shared Algorithm-3 control flow in
+// core/exact_pipeline.hpp; the sequential twin lives in
+// core/exact_quantile.cpp.
+struct EngineExactOps {
+  Engine& engine;
+
+  [[nodiscard]] std::uint32_t size() const { return engine.size(); }
+  [[nodiscard]] const Metrics& metrics() const { return engine.metrics(); }
+
+  ApproxQuantileResult approx(std::span<const Key> keys,
+                              const ApproxQuantileParams& params) {
+    return approx_quantile_keys(engine, keys, params);
+  }
+  SpreadResult spread_min_keys(std::span<const Key> init) {
+    return spread_min(engine, init);
+  }
+  SpreadResult spread_max_keys(std::span<const Key> init) {
+    return spread_max(engine, init);
+  }
+  CountResult count(const std::vector<bool>& indicator) {
+    return gossip_count(engine, indicator);
+  }
+  CountResult rank(std::span<const Key> keys, const Key& threshold) {
+    return gossip_rank(engine, keys, threshold);
+  }
+  TripleCountResult count3(const std::vector<bool>& a,
+                           const std::vector<bool>& b,
+                           const std::vector<bool>& c) {
+    return gossip_count3(engine, a, b, c);
+  }
+  PivotSample pivot(std::span<const Key> inst,
+                    const std::vector<bool>& candidate) {
+    return sample_uniform_candidate(engine, inst, candidate);
+  }
+  TokenSplitResult token_split(std::span<const Key> inst,
+                               std::uint64_t multiplier,
+                               std::uint64_t tag_base) {
+    return token_split_distribute(engine, inst, multiplier, tag_base);
+  }
+  [[nodiscard]] std::uint64_t exact_count_rounds() const {
+    return push_sum_rounds_for_exact(engine.size(), engine.failures());
+  }
+};
+
+void require_failure_free(const Engine& engine) {
+  GQ_REQUIRE(engine.failures().never_fails(),
+             "engine pipelines cover the failure-free model; use the "
+             "sequential Network path for the robust Section-5 variants");
+}
+
+}  // namespace
+
+ApproxQuantileResult approx_quantile_keys(Engine& engine,
+                                          std::span<const Key> keys,
+                                          const ApproxQuantileParams& params) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
+             "eps must lie in (0, 1/2)");
+  require_failure_free(engine);
+
+  const Metrics before = engine.metrics();
+
+  if (params.eps < eps_tournament_floor(n) && !params.force_tournament) {
+    // Theorem 1.2 bootstrap: for eps below the sampling floor the exact
+    // algorithm is both correct and within the advertised round bound.
+    ExactQuantileParams ep;
+    ep.phi = params.phi;
+    const ExactQuantileResult er = exact_quantile_keys(engine, keys, ep);
+    ApproxQuantileResult out;
+    out.outputs = er.outputs;
+    out.valid = er.valid;
+    out.rounds = engine.metrics().rounds - before.rounds;
+    out.used_exact_fallback = true;
+    return out;
+  }
+
+  ApproxQuantileResult out;
+  std::vector<Key> state(keys.begin(), keys.end());
+  // Phase II approximates the median of the Phase-I configuration to eps/4:
+  // by Lemma 2.11 every quantile in [1/2 - eps/4, 1/2 + eps/4] of that
+  // configuration lies in the original [phi - eps, phi + eps] window.
+  const double phase2_eps = params.eps / 4.0;
+
+  const TwoTournamentOutcome p1 = two_tournament(
+      engine, state, params.phi, params.eps, params.truncate_last);
+  const ThreeTournamentOutcome p2 = three_tournament(
+      engine, state, phase2_eps, params.final_sample_size);
+  out.phase1_iterations = p1.iterations;
+  out.phase2_iterations = p2.iterations;
+  out.outputs = p2.outputs;
+  out.valid.assign(n, true);
+
+  out.rounds = engine.metrics().rounds - before.rounds;
+  return out;
+}
+
+ApproxQuantileResult approx_quantile(Engine& engine,
+                                     std::span<const double> values,
+                                     const ApproxQuantileParams& params) {
+  const std::vector<Key> keys = make_keys(values);
+  return approx_quantile_keys(engine, keys, params);
+}
+
+ExactQuantileResult exact_quantile_keys(Engine& engine,
+                                        std::span<const Key> keys,
+                                        const ExactQuantileParams& params) {
+  require_failure_free(engine);
+  EngineExactOps ops{engine};
+  return exact_detail::exact_quantile_keys_impl(ops, keys, params);
+}
+
+ExactQuantileResult exact_quantile(Engine& engine,
+                                   std::span<const double> values,
+                                   const ExactQuantileParams& params) {
+  const std::vector<Key> keys = make_keys(values);
+  return exact_quantile_keys(engine, keys, params);
+}
+
+OwnRankResult own_rank(Engine& engine, std::span<const double> values,
+                       const OwnRankParams& params) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(values.size() == n, "one value per node required");
+  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
+             "eps must lie in (0, 1/2)");
+  require_failure_free(engine);
+
+  const std::vector<Key> keys = make_keys(values);
+  const double grid = params.eps / 2.0;
+  const auto runs = static_cast<std::size_t>(std::ceil(1.0 / grid)) - 1;
+
+  const Metrics before = engine.metrics();
+  OwnRankResult out;
+  out.quantile_runs = runs;
+  out.valid.assign(n, true);
+  std::vector<std::size_t> below(n, 0);
+
+  ApproxQuantileParams ap;
+  ap.eps = params.eps / 4.0;
+  ap.final_sample_size = params.final_sample_size;
+  for (std::size_t j = 1; j <= runs; ++j) {
+    ap.phi = std::min(1.0, grid * static_cast<double>(j));
+    const ApproxQuantileResult r = approx_quantile_keys(engine, keys, ap);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!r.valid[v]) {
+        out.valid[v] = false;
+        continue;
+      }
+      if (r.outputs[v] < keys[v]) ++below[v];
+    }
+  }
+
+  out.estimates.resize(n);
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          out.estimates[v] =
+              std::min(1.0, (static_cast<double>(below[v]) + 0.5) * grid);
+        }
+      });
+  out.rounds = engine.metrics().rounds - before.rounds;
+  return out;
+}
+
+}  // namespace gq

@@ -1,0 +1,104 @@
+// Engine-native quantile pipelines: the headline algorithms of the paper —
+// approx_quantile (Theorem 2.1 / 1.2) and exact_quantile (Theorem 1.1) —
+// running end-to-end on the sharded parallel Engine, plus the batched
+// gossip collectives they are built from.
+//
+// Every function here is an overload of its sequential namesake taking
+// Engine& instead of Network&, returns the same result struct, and is
+// **bit-identical** to the sequential path — same outputs, same round
+// counts, same Metrics — at every thread count and shard size (pinned by
+// tests/test_engine.cpp).  Porting a caller is a one-line change of the
+// executor type; see examples/quickstart.cpp.
+//
+// How bit-identity survives the push patterns: the pull-shaped collectives
+// (spreads, tournaments) parallelise with per-node output slots as before,
+// while the push-shaped ones — push-sum counting and the Step-7 token
+// split — route their traffic through engine/scatter.hpp, which applies
+// payloads to each destination in ascending sender order, exactly the
+// order the sequential for-loop produces.  The exact pipeline's control
+// flow itself is not duplicated: both executors instantiate the shared
+// template in core/exact_pipeline.hpp.
+//
+// Scope: the failure-free model.  The robust Section-5 variants still run
+// on the sequential Network only (ROADMAP: batched fan-out pulls); calling
+// these overloads under a FailureModel throws.  The batched collectives
+// below (spread, count, pivot, token split) do honour failure models —
+// only the tournament-based pipelines are restricted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "agg/rank_count.hpp"
+#include "agg/spread.hpp"
+#include "core/params.hpp"
+#include "core/pivot.hpp"
+#include "core/result.hpp"
+#include "core/token_split.hpp"
+#include "engine/engine.hpp"
+#include "sim/key.hpp"
+
+namespace gq {
+
+// ---- batched collectives --------------------------------------------------
+
+// Min-/max-broadcast over uniform gossip; see agg/spread.hpp.
+[[nodiscard]] SpreadResult spread_min(Engine& engine,
+                                      std::span<const Key> init,
+                                      std::uint64_t max_rounds = 0);
+[[nodiscard]] SpreadResult spread_max(Engine& engine,
+                                      std::span<const Key> init,
+                                      std::uint64_t max_rounds = 0);
+
+// Exact push-sum counting; see agg/rank_count.hpp.
+[[nodiscard]] CountResult gossip_count(Engine& engine,
+                                       const std::vector<bool>& indicator,
+                                       std::uint64_t rounds = 0);
+[[nodiscard]] CountResult gossip_rank(Engine& engine,
+                                      std::span<const Key> keys,
+                                      const Key& threshold,
+                                      std::uint64_t rounds = 0);
+[[nodiscard]] TripleCountResult gossip_count3(
+    Engine& engine, const std::vector<bool>& ind_a,
+    const std::vector<bool>& ind_b, const std::vector<bool>& ind_c,
+    std::uint64_t rounds = 0);
+
+// Uniform pivot sampling; see core/pivot.hpp.
+[[nodiscard]] PivotSample sample_uniform_candidate(
+    Engine& engine, std::span<const Key> inst,
+    const std::vector<bool>& candidate);
+
+// Token split-and-distribute (Algorithm 3 Step 7) on the scatter
+// primitive; see core/token_split.hpp.
+[[nodiscard]] TokenSplitResult token_split_distribute(
+    Engine& engine, std::span<const Key> inst, std::uint64_t multiplier,
+    std::uint64_t tag_base);
+
+// ---- pipelines ------------------------------------------------------------
+
+// The eps-approximate phi-quantile pipeline; see core/approx_quantile.hpp.
+// Failure-free only (robust variants: sequential path).
+[[nodiscard]] ApproxQuantileResult approx_quantile(
+    Engine& engine, std::span<const double> values,
+    const ApproxQuantileParams& params);
+[[nodiscard]] ApproxQuantileResult approx_quantile_keys(
+    Engine& engine, std::span<const Key> keys,
+    const ApproxQuantileParams& params);
+
+// Algorithm 3, exact phi-quantile; see core/exact_quantile.hpp.
+// Failure-free only.
+[[nodiscard]] ExactQuantileResult exact_quantile(
+    Engine& engine, std::span<const double> values,
+    const ExactQuantileParams& params);
+[[nodiscard]] ExactQuantileResult exact_quantile_keys(
+    Engine& engine, std::span<const Key> keys,
+    const ExactQuantileParams& params);
+
+// Corollary 1.5, own-rank estimation; see core/own_rank.hpp.
+// Failure-free only.
+[[nodiscard]] OwnRankResult own_rank(Engine& engine,
+                                     std::span<const double> values,
+                                     const OwnRankParams& params);
+
+}  // namespace gq

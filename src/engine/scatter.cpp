@@ -1,0 +1,27 @@
+#include "engine/scatter.hpp"
+
+namespace gq {
+
+ScatterLayout ScatterLayout::for_engine(const Engine& engine) {
+  ScatterLayout layout;
+  layout.n = engine.size();
+  layout.shard_size = engine.config().shard_size;
+  layout.rows = engine.num_shards();
+  // Partition boundaries depend on (n, shard_size) only — the thread count
+  // must stay a pure performance knob.  Capping the partition count bounds
+  // the mailbox table at rows * kMaxPartitions vectors.
+  layout.partitions = layout.rows < kMaxPartitions ? layout.rows
+                                                   : kMaxPartitions;
+  const std::uint64_t width =
+      (static_cast<std::uint64_t>(layout.n) + layout.partitions - 1) /
+      layout.partitions;
+  layout.partition_size = static_cast<std::uint32_t>(width);
+  GQ_REQUIRE(layout.partition_size > 0, "scatter partition width must be positive");
+  // Rounding can leave trailing empty partitions; trim so every delivery
+  // task owns a non-empty destination range.
+  layout.partitions =
+      (layout.n + layout.partition_size - 1) / layout.partition_size;
+  return layout;
+}
+
+}  // namespace gq

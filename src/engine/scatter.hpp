@@ -1,0 +1,201 @@
+// Deterministic parallel push/scatter for the sharded engine.
+//
+// The engine's pull kernels parallelise trivially: every node writes only
+// its own slots.  A *push* pattern — many senders delivering payloads to
+// arbitrary destinations in the same round — cannot, because two senders may
+// target the same node and the order in which their payloads are applied is
+// observable (floating-point folds, token list append order).  This is the
+// pattern behind Algorithm 3's token split (Step 7) and push-sum counting,
+// and it is what kept the full quantile pipelines off the engine.
+//
+// Scatter makes the pattern deterministic in two phases:
+//
+//   1. Send.  Each engine shard appends (destination, payload) records into
+//      its own mailbox row — no sharing, no locks.  Within a row, records
+//      sit in the order the shard's node loop emitted them, i.e. ascending
+//      sender id.
+//   2. Deliver.  Destinations are partitioned into contiguous ranges, fixed
+//      by (n, shard_size) alone.  Each partition task folds the records
+//      addressed to it by walking the mailbox rows in shard order.  Row
+//      order is ascending sender shard and rows are internally ascending,
+//      so every destination observes its payloads in ascending sender
+//      order — exactly the order the sequential Network loop (for v = 0..n)
+//      produces.  The fold result is therefore bit-identical at any thread
+//      count and any shard size.
+//
+// CombiningScatter is the counter-payload variant: payloads whose fold is
+// exactly associative and commutative (integer counters, bitmasks) may be
+// merged before delivery, shrinking mailboxes when a sender emits bursts to
+// one destination.  Because combining changes fold grouping, it must never
+// be used with floating-point payloads — that is Scatter's job.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "util/require.hpp"
+
+namespace gq {
+
+// Mailbox geometry shared by both scatter variants.  Rows are the engine's
+// node shards (the send-side write granularity); destination partitions are
+// contiguous node ranges sized from the same shard layout, capped so the
+// row x partition table stays small.  All boundaries are pure functions of
+// (n, shard_size) — never of the thread count.
+struct ScatterLayout {
+  std::uint32_t n = 0;
+  std::uint32_t shard_size = 0;      // sender row granularity
+  std::size_t rows = 0;              // number of sender shards
+  std::uint32_t partition_size = 0;  // destination partition width
+  std::size_t partitions = 0;
+
+  // Delivery parallelism cap: keeps rows * partitions mailboxes cheap even
+  // for very fine shard sizes.
+  static constexpr std::size_t kMaxPartitions = 64;
+
+  [[nodiscard]] static ScatterLayout for_engine(const Engine& engine);
+
+  [[nodiscard]] std::size_t row_of(std::uint32_t sender) const noexcept {
+    return sender / shard_size;
+  }
+  [[nodiscard]] std::size_t partition_of(std::uint32_t dest) const noexcept {
+    return dest / partition_size;
+  }
+  // Destination range [first, last) of one partition.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> partition_range(
+      std::size_t p) const noexcept {
+    const auto first = static_cast<std::uint32_t>(p * partition_size);
+    const auto last = static_cast<std::uint64_t>(first) + partition_size;
+    return {first, last < n ? static_cast<std::uint32_t>(last) : n};
+  }
+};
+
+// Order-preserving scatter: deliver() applies payloads to each destination
+// in ascending sender order.  Use for floating-point folds and for payloads
+// whose arrival order is observable (e.g. token lists).
+template <typename Payload>
+class Scatter {
+ public:
+  explicit Scatter(const Engine& engine)
+      : layout_(ScatterLayout::for_engine(engine)),
+        boxes_(layout_.rows * layout_.partitions) {}
+
+  [[nodiscard]] const ScatterLayout& layout() const noexcept {
+    return layout_;
+  }
+
+  // Clears every mailbox, keeping capacity for the next round.
+  void begin_round() {
+    for (auto& b : boxes_) b.clear();
+  }
+
+  // Queues one payload.  Must be called from the engine shard that owns
+  // `sender` (each row is written by exactly one task); senders within a
+  // shard must send in ascending node order, which every node-loop kernel
+  // does naturally.
+  void send(std::uint32_t sender, std::uint32_t dest, Payload payload) {
+    box(layout_.row_of(sender), layout_.partition_of(dest))
+        .push_back(Record{dest, std::move(payload)});
+  }
+
+  // Applies fold(dest, payload) for every queued record, partitions in
+  // parallel, per-destination in ascending sender order.  fold must write
+  // only destination-indexed state (destinations of distinct partitions are
+  // disjoint by construction).
+  template <typename Fold>
+  void deliver(Engine& engine, Fold&& fold) {
+    engine.pool().run(layout_.partitions, [&](std::size_t p) {
+      for (std::size_t row = 0; row < layout_.rows; ++row) {
+        for (const Record& r : box(row, p)) fold(r.dest, r.payload);
+      }
+    });
+  }
+
+  // Like deliver, but runs prologue(first, last) over the partition's
+  // destination range before folding — the idiomatic place to zero
+  // per-destination accumulators while the range is cache-resident.
+  template <typename Prologue, typename Fold>
+  void deliver(Engine& engine, Prologue&& prologue, Fold&& fold) {
+    engine.pool().run(layout_.partitions, [&](std::size_t p) {
+      const auto [first, last] = layout_.partition_range(p);
+      prologue(first, last);
+      for (std::size_t row = 0; row < layout_.rows; ++row) {
+        for (const Record& r : box(row, p)) fold(r.dest, r.payload);
+      }
+    });
+  }
+
+ private:
+  struct Record {
+    std::uint32_t dest;
+    Payload payload;
+  };
+
+  std::vector<Record>& box(std::size_t row, std::size_t p) {
+    return boxes_[row * layout_.partitions + p];
+  }
+
+  ScatterLayout layout_;
+  std::vector<std::vector<Record>> boxes_;
+};
+
+// Scatter for counter-style payloads: `combine` must be exactly associative
+// and commutative (integer sums, max, bit-or), because consecutive sends
+// from one shard to the same destination are merged in the mailbox and the
+// delivery fold makes no ordering promise beyond determinism.  Under that
+// contract the delivered totals are bit-identical at any thread count and
+// shard size, with mailboxes no larger than the number of distinct
+// (sender burst, destination) pairs.
+template <typename Payload, typename Combine>
+class CombiningScatter {
+ public:
+  explicit CombiningScatter(const Engine& engine, Combine combine = Combine{})
+      : layout_(ScatterLayout::for_engine(engine)),
+        combine_(std::move(combine)),
+        boxes_(layout_.rows * layout_.partitions) {}
+
+  [[nodiscard]] const ScatterLayout& layout() const noexcept {
+    return layout_;
+  }
+
+  void begin_round() {
+    for (auto& b : boxes_) b.clear();
+  }
+
+  void send(std::uint32_t sender, std::uint32_t dest, const Payload& payload) {
+    auto& b = box(layout_.row_of(sender), layout_.partition_of(dest));
+    if (!b.empty() && b.back().dest == dest) {
+      combine_(b.back().payload, payload);
+      return;
+    }
+    b.push_back(Record{dest, payload});
+  }
+
+  // Applies fold(dest, payload) for every (possibly pre-combined) record.
+  template <typename Fold>
+  void deliver(Engine& engine, Fold&& fold) {
+    engine.pool().run(layout_.partitions, [&](std::size_t p) {
+      for (std::size_t row = 0; row < layout_.rows; ++row) {
+        for (const Record& r : box(row, p)) fold(r.dest, r.payload);
+      }
+    });
+  }
+
+ private:
+  struct Record {
+    std::uint32_t dest;
+    Payload payload;
+  };
+
+  std::vector<Record>& box(std::size_t row, std::size_t p) {
+    return boxes_[row * layout_.partitions + p];
+  }
+
+  ScatterLayout layout_;
+  Combine combine_;
+  std::vector<std::vector<Record>> boxes_;
+};
+
+}  // namespace gq

@@ -9,9 +9,18 @@
 #include <stdexcept>
 #include <vector>
 
+#include "agg/rank_count.hpp"
+#include "agg/spread.hpp"
+#include "core/approx_quantile.hpp"
+#include "core/exact_quantile.hpp"
+#include "core/own_rank.hpp"
+#include "core/pivot.hpp"
+#include "core/token_split.hpp"
 #include "engine/engine.hpp"
 #include "engine/kernels.hpp"
+#include "engine/pipelines.hpp"
 #include "engine/runtime_adapter.hpp"
+#include "engine/scatter.hpp"
 #include "engine/thread_pool.hpp"
 #include "runtime/protocol.hpp"
 #include "sim/network.hpp"
@@ -244,6 +253,347 @@ TEST(EngineKernels, TournamentsRejectFailureModels) {
   EXPECT_THROW((void)two_tournament(engine, state, 0.5, 0.1),
                std::invalid_argument);
   EXPECT_THROW((void)three_tournament(engine, state, 0.1),
+               std::invalid_argument);
+}
+
+// ---- scatter primitive ----------------------------------------------------
+
+// Every destination must observe its payloads in ascending sender order —
+// the sequential for-loop's order — at every thread count and shard size.
+TEST(Scatter, DeliversInAscendingSenderOrder) {
+  constexpr std::uint32_t kN = 997;
+  for (unsigned threads : kThreadCounts) {
+    for (const std::uint32_t shard_size : {37u, 192u, 1u << 14}) {
+      Engine engine(kN, 3, FailureModel{},
+                    EngineConfig{.threads = threads, .shard_size = shard_size});
+      Scatter<std::uint64_t> scatter(engine);
+      scatter.begin_round();
+      // Node v sends its id to two destinations derived from v.
+      engine.parallel_shards(
+          [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+            for (std::uint32_t v = begin; v < end; ++v) {
+              scatter.send(v, (v * 7 + 3) % kN, v);
+              scatter.send(v, (v * 5 + 11) % kN, v);
+            }
+          });
+      std::vector<std::vector<std::uint64_t>> got(kN);
+      scatter.deliver(engine, [&](std::uint32_t dest, std::uint64_t payload) {
+        got[dest].push_back(payload);
+      });
+
+      std::vector<std::vector<std::uint64_t>> want(kN);
+      for (std::uint32_t v = 0; v < kN; ++v) {
+        want[(v * 7 + 3) % kN].push_back(v);
+        want[(v * 5 + 11) % kN].push_back(v);
+      }
+      EXPECT_EQ(got, want) << "threads=" << threads
+                           << " shard_size=" << shard_size;
+    }
+  }
+}
+
+TEST(Scatter, CombiningTotalsAreConfigurationIndependent) {
+  constexpr std::uint32_t kN = 513;
+  struct Add {
+    void operator()(std::uint64_t& acc, std::uint64_t v) const { acc += v; }
+  };
+  std::vector<std::uint64_t> expected;
+  for (unsigned threads : kThreadCounts) {
+    for (const std::uint32_t shard_size : {64u, 1u << 14}) {
+      Engine engine(kN, 5, FailureModel{},
+                    EngineConfig{.threads = threads, .shard_size = shard_size});
+      CombiningScatter<std::uint64_t, Add> scatter(engine);
+      scatter.begin_round();
+      // Bursts to one destination per sender: must pre-combine in the
+      // mailbox, and totals must not depend on the configuration.
+      engine.parallel_shards(
+          [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+            for (std::uint32_t v = begin; v < end; ++v) {
+              for (int i = 0; i < 3; ++i) scatter.send(v, v % 17, v + 1);
+              scatter.send(v, (v + 1) % kN, 1);
+            }
+          });
+      std::vector<std::uint64_t> totals(kN, 0);
+      scatter.deliver(engine, [&](std::uint32_t dest, std::uint64_t payload) {
+        totals[dest] += payload;
+      });
+      if (expected.empty()) {
+        expected = totals;
+        std::uint64_t sum = 0;
+        for (auto t : totals) sum += t;
+        // 3*(v+1) per sender plus one unit to a neighbour.
+        EXPECT_EQ(sum, 3ull * kN * (kN + 1) / 2 + kN);
+      } else {
+        EXPECT_EQ(totals, expected)
+            << "threads=" << threads << " shard_size=" << shard_size;
+      }
+    }
+  }
+}
+
+// ---- batched collectives --------------------------------------------------
+
+TEST(EngineCollectives, SpreadMatchesCore) {
+  constexpr std::uint32_t kN = 2000;
+  constexpr std::uint64_t kSeed = 301;
+  const auto keys =
+      make_keys(generate_values(Distribution::kGaussian, kN, 13));
+
+  for (const bool with_failures : {false, true}) {
+    const FailureModel fm =
+        with_failures ? FailureModel::uniform(0.3) : FailureModel{};
+    Network net(kN, kSeed, fm);
+    const SpreadResult seq_min = spread_min(net, keys);
+    const SpreadResult seq_max = spread_max(net, keys);
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, fm, config_for(threads));
+      const SpreadResult par_min = spread_min(engine, keys);
+      const SpreadResult par_max = spread_max(engine, keys);
+      EXPECT_EQ(par_min.values, seq_min.values);
+      EXPECT_EQ(par_min.rounds, seq_min.rounds);
+      EXPECT_EQ(par_min.converged, seq_min.converged);
+      EXPECT_EQ(par_max.values, seq_max.values);
+      EXPECT_EQ(par_max.rounds, seq_max.rounds);
+      EXPECT_EQ(par_max.converged, seq_max.converged);
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " failures=" << with_failures;
+    }
+  }
+}
+
+TEST(EngineCollectives, GossipCountMatchesCore) {
+  constexpr std::uint32_t kN = 1500;
+  constexpr std::uint64_t kSeed = 303;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 17));
+  std::vector<bool> ind_a(kN), ind_b(kN), ind_c(kN);
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    ind_a[v] = v % 3 == 0;
+    ind_b[v] = v % 2 == 0;
+    ind_c[v] = true;
+  }
+
+  for (const bool with_failures : {false, true}) {
+    const FailureModel fm =
+        with_failures ? FailureModel::uniform(0.25) : FailureModel{};
+    Network net(kN, kSeed, fm);
+    const CountResult seq_count = gossip_count(net, ind_a);
+    const CountResult seq_rank = gossip_rank(net, keys, keys[kN / 2]);
+    const TripleCountResult seq3 = gossip_count3(net, ind_a, ind_b, ind_c);
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, fm, config_for(threads));
+      const CountResult par_count = gossip_count(engine, ind_a);
+      const CountResult par_rank = gossip_rank(engine, keys, keys[kN / 2]);
+      const TripleCountResult par3 = gossip_count3(engine, ind_a, ind_b, ind_c);
+      EXPECT_EQ(par_count.counts, seq_count.counts);
+      EXPECT_EQ(par_count.rounds, seq_count.rounds);
+      EXPECT_EQ(par_rank.counts, seq_rank.counts);
+      EXPECT_EQ(par3.a, seq3.a);
+      EXPECT_EQ(par3.b, seq3.b);
+      EXPECT_EQ(par3.c, seq3.c);
+      EXPECT_EQ(par3.rounds, seq3.rounds);
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " failures=" << with_failures;
+    }
+  }
+}
+
+TEST(EngineCollectives, PivotMatchesCore) {
+  constexpr std::uint32_t kN = 1024;
+  constexpr std::uint64_t kSeed = 307;
+  const auto keys =
+      make_keys(generate_values(Distribution::kZipf, kN, 19));
+  std::vector<bool> candidate(kN);
+  for (std::uint32_t v = 0; v < kN; ++v) candidate[v] = v % 5 != 0;
+
+  for (const bool with_failures : {false, true}) {
+    const FailureModel fm =
+        with_failures ? FailureModel::uniform(0.2) : FailureModel{};
+    Network net(kN, kSeed, fm);
+    const PivotSample seq = sample_uniform_candidate(net, keys, candidate);
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, fm, config_for(threads));
+      const PivotSample par = sample_uniform_candidate(engine, keys, candidate);
+      EXPECT_EQ(par.pivot, seq.pivot);
+      EXPECT_EQ(par.rounds, seq.rounds);
+      EXPECT_EQ(par.found, seq.found);
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " failures=" << with_failures;
+    }
+  }
+}
+
+TEST(EngineCollectives, TokenSplitMatchesCore) {
+  constexpr std::uint32_t kN = 2048;
+  constexpr std::uint64_t kSeed = 311;
+  constexpr std::uint64_t kMult = 8;
+  std::vector<Key> inst(kN, Key::infinite());
+  for (std::uint32_t v = 0; v < kN / 16; ++v) {
+    inst[v * 3] = Key{static_cast<double>(v + 1), v, 0};
+  }
+
+  for (const bool with_failures : {false, true}) {
+    const FailureModel fm =
+        with_failures ? FailureModel::uniform(0.35) : FailureModel{};
+    Network net(kN, kSeed, fm);
+    const TokenSplitResult seq =
+        token_split_distribute(net, inst, kMult, 7ull << 32);
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, fm, config_for(threads));
+      const TokenSplitResult par =
+          token_split_distribute(engine, inst, kMult, 7ull << 32);
+      EXPECT_EQ(par.instance, seq.instance)
+          << "threads=" << threads << " failures=" << with_failures;
+      EXPECT_EQ(par.rounds, seq.rounds);
+      EXPECT_EQ(par.token_count, seq.token_count);
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " failures=" << with_failures;
+    }
+  }
+}
+
+// ---- full pipelines -------------------------------------------------------
+
+TEST(EnginePipelines, ApproxQuantileMatchesCore) {
+  constexpr std::uint32_t kN = 4096;
+  constexpr std::uint64_t kSeed = 401;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 23);
+
+  for (const double phi : {0.5, 0.2}) {
+    Network net(kN, kSeed);
+    ApproxQuantileParams params;
+    params.phi = phi;
+    params.eps = 0.15;
+    const ApproxQuantileResult seq = approx_quantile(net, values, params);
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+      const ApproxQuantileResult par = approx_quantile(engine, values, params);
+      EXPECT_EQ(par.outputs, seq.outputs)
+          << "threads=" << threads << " phi=" << phi;
+      EXPECT_EQ(par.valid, seq.valid);
+      EXPECT_EQ(par.phase1_iterations, seq.phase1_iterations);
+      EXPECT_EQ(par.phase2_iterations, seq.phase2_iterations);
+      EXPECT_EQ(par.rounds, seq.rounds);
+      EXPECT_EQ(par.used_exact_fallback, seq.used_exact_fallback);
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " phi=" << phi;
+    }
+  }
+}
+
+// The exact-fallback branch (eps below eps_tournament_floor) must route
+// through the engine-native exact pipeline and still match bit for bit.
+TEST(EnginePipelines, ApproxExactFallbackMatchesCore) {
+  constexpr std::uint32_t kN = 1024;
+  constexpr std::uint64_t kSeed = 403;
+  const auto values = generate_values(Distribution::kGaussian, kN, 29);
+
+  ApproxQuantileParams params;
+  params.phi = 0.5;
+  params.eps = 0.05;  // below eps_tournament_floor(1024) ~ 0.2
+  Network net(kN, kSeed);
+  const ApproxQuantileResult seq = approx_quantile(net, values, params);
+  ASSERT_TRUE(seq.used_exact_fallback);
+
+  for (unsigned threads : kThreadCounts) {
+    Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+    const ApproxQuantileResult par = approx_quantile(engine, values, params);
+    EXPECT_TRUE(par.used_exact_fallback);
+    EXPECT_EQ(par.outputs, seq.outputs) << "threads=" << threads;
+    EXPECT_EQ(par.valid, seq.valid);
+    EXPECT_EQ(par.rounds, seq.rounds);
+    EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
+  }
+}
+
+TEST(EnginePipelines, ExactQuantileMatchesCore) {
+  constexpr std::uint32_t kN = 4096;
+  constexpr std::uint64_t kSeed = 409;
+  const auto values = generate_values(Distribution::kExponential, kN, 31);
+
+  for (const double phi : {0.5, 0.9}) {
+    Network net(kN, kSeed);
+    ExactQuantileParams params;
+    params.phi = phi;
+    const ExactQuantileResult seq = exact_quantile(net, values, params);
+
+    for (unsigned threads : kThreadCounts) {
+      Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+      const ExactQuantileResult par = exact_quantile(engine, values, params);
+      EXPECT_EQ(par.answer, seq.answer)
+          << "threads=" << threads << " phi=" << phi;
+      EXPECT_EQ(par.outputs, seq.outputs);
+      EXPECT_EQ(par.valid, seq.valid);
+      EXPECT_EQ(par.iterations, seq.iterations);
+      EXPECT_EQ(par.endgame_phases, seq.endgame_phases);
+      EXPECT_EQ(par.rounds, seq.rounds);
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " phi=" << phi;
+    }
+  }
+}
+
+// The duplication strategy exercises the scatter-based token split inside
+// the full pipeline.
+TEST(EnginePipelines, ExactDuplicationRouteMatchesCore) {
+  constexpr std::uint32_t kN = 1 << 14;
+  constexpr std::uint64_t kSeed = 419;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 37);
+
+  Network net(kN, kSeed);
+  ExactQuantileParams params;
+  params.phi = 0.37;
+  params.strategy = ExactStrategy::kPreferDuplication;
+  const ExactQuantileResult seq = exact_quantile(net, values, params);
+  ASSERT_GE(seq.iterations, 2u);
+
+  for (unsigned threads : {1u, 8u}) {
+    Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+    const ExactQuantileResult par = exact_quantile(engine, values, params);
+    EXPECT_EQ(par.answer, seq.answer) << "threads=" << threads;
+    EXPECT_EQ(par.outputs, seq.outputs);
+    EXPECT_EQ(par.iterations, seq.iterations);
+    EXPECT_EQ(par.endgame_phases, seq.endgame_phases);
+    EXPECT_EQ(par.rounds, seq.rounds);
+    EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
+  }
+}
+
+TEST(EnginePipelines, OwnRankMatchesCore) {
+  constexpr std::uint32_t kN = 1 << 14;
+  constexpr std::uint64_t kSeed = 421;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 41);
+
+  Network net(kN, kSeed);
+  OwnRankParams params;
+  params.eps = 0.45;
+  const OwnRankResult seq = own_rank(net, values, params);
+
+  for (unsigned threads : {1u, 8u}) {
+    Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+    const OwnRankResult par = own_rank(engine, values, params);
+    EXPECT_EQ(par.estimates, seq.estimates) << "threads=" << threads;
+    EXPECT_EQ(par.valid, seq.valid);
+    EXPECT_EQ(par.quantile_runs, seq.quantile_runs);
+    EXPECT_EQ(par.rounds, seq.rounds);
+    EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
+  }
+}
+
+TEST(EnginePipelines, RejectFailureModels) {
+  Engine engine(64, 1, FailureModel::uniform(0.1),
+                EngineConfig{.threads = 1});
+  const std::vector<double> values(64, 1.0);
+  EXPECT_THROW((void)approx_quantile(engine, values, ApproxQuantileParams{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)exact_quantile(engine, values, ExactQuantileParams{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)own_rank(engine, values, OwnRankParams{}),
                std::invalid_argument);
 }
 

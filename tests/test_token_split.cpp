@@ -106,6 +106,65 @@ TEST(TokenSplit, RejectsBadArguments) {
                std::invalid_argument);
 }
 
+TEST(TokenSplit, ScatteringCapacityBoundaryIsExact) {
+  // multiplier * finite <= 4n/5 + 1 is the admission rule: the largest
+  // token count that fits must run, one more valued node must throw.
+  constexpr std::uint32_t kN = 640;  // 4n/5 + 1 = 513
+  constexpr std::uint64_t kMult = 8;
+  Network ok_net(kN, 31);
+  const auto ok_inst = partial_instance(kN, 64);  // 512 tokens
+  const TokenSplitResult r = token_split_distribute(ok_net, ok_inst, kMult, 0);
+  EXPECT_EQ(r.token_count, 512u);
+
+  Network bad_net(kN, 31);
+  const auto bad_inst = partial_instance(kN, 65);  // 520 tokens
+  EXPECT_THROW((void)token_split_distribute(bad_net, bad_inst, kMult, 0),
+               std::invalid_argument);
+}
+
+TEST(TokenSplit, SplittingConvergenceCapThrows) {
+  // A failure probability this close to one stalls phase A past its
+  // 64*log2(n) + 512 round cap; the run must fail loudly, not spin.
+  constexpr std::uint32_t kN = 128;
+  Network net(kN, 17, FailureModel::uniform(1.0 - 1e-9));
+  const auto inst = partial_instance(kN, 8);
+  EXPECT_THROW((void)token_split_distribute(net, inst, 4, 0),
+               std::runtime_error);
+}
+
+TEST(TokenSplit, ScatteringConvergenceCapThrows) {
+  // With multiplier 2, phase A is exactly one (failure-free) round; the 80
+  // pushed halves then crowd some nodes, and failures switching on from
+  // round 2 stall phase B against its 4x round cap.
+  constexpr std::uint32_t kN = 128;
+  const FailureModel fm = FailureModel::custom(
+      [](std::uint32_t, std::uint64_t round) {
+        return round >= 2 ? 1.0 - 1e-9 : 0.0;
+      },
+      1.0 - 1e-9);
+  Network net(kN, 19, fm);
+  const auto inst = partial_instance(kN, 40);
+  EXPECT_THROW((void)token_split_distribute(net, inst, 2, 0),
+               std::runtime_error);
+}
+
+TEST(TokenSplit, MessageBitsBillWeightAtMultiplierWidth) {
+  // The weight field is billed at bit_width(multiplier), not a flat word:
+  // key_bits(512) = 64 + 2*9 = 82, multiplier 4 adds 3 bits.
+  constexpr std::uint32_t kN = 512;
+  EXPECT_EQ(token_message_bits(kN, 4), key_bits(kN) + 3);
+  EXPECT_EQ(token_message_bits(kN, 1), key_bits(kN) + 1);
+
+  Network net(kN, 23);
+  const auto inst = partial_instance(kN, 32);
+  const Metrics before = net.metrics();
+  const TokenSplitResult r = token_split_distribute(net, inst, 4, 0);
+  const Metrics delta = net.metrics().since(before);
+  EXPECT_EQ(delta.max_message_bits, token_message_bits(kN, 4));
+  EXPECT_EQ(delta.message_bits, delta.messages * token_message_bits(kN, 4));
+  EXPECT_GT(r.rounds, 0u);
+}
+
 TEST(TokenSplit, AccountsRoundsAndMessages) {
   constexpr std::uint32_t kN = 512;
   Network net(kN, 21);
