@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <thread>
 
 namespace gq::bench {
 
@@ -77,15 +80,34 @@ double scale() {
   return 1.0;
 }
 
-bool fast_mode() {
-  const char* s = std::getenv("GQ_BENCH_FAST");
-  return s != nullptr && s[0] == '1';
+namespace {
+
+bool matches_any(const char* value, std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    if (std::strcmp(value, name) == 0) return true;
+  }
+  return false;
 }
 
-bool smoke_mode() {
-  const char* s = std::getenv("GQ_BENCH_SMOKE");
-  return s != nullptr && s[0] == '1';
+// Boolean env parsing: 1/true/yes/on are on, 0/false/no/off/"" are off, and
+// anything else is a hard error — a typo'd CI flag must fail the job, not
+// silently run the wrong problem sizes.
+bool env_flag(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || s[0] == '\0') return false;
+  if (matches_any(s, {"1", "true", "yes", "on"})) return true;
+  if (matches_any(s, {"0", "false", "no", "off"})) return false;
+  std::fprintf(stderr,
+               "%s=%s is not a boolean; use 1/true/yes/on or 0/false/no/off\n",
+               name, s);
+  std::exit(2);
 }
+
+}  // namespace
+
+bool fast_mode() { return env_flag("GQ_BENCH_FAST"); }
+
+bool smoke_mode() { return env_flag("GQ_BENCH_SMOKE"); }
 
 std::uint32_t smoke_capped(std::uint32_t n, std::uint32_t smoke_n) {
   return smoke_mode() && n > smoke_n ? smoke_n : n;
@@ -94,6 +116,53 @@ std::uint32_t smoke_capped(std::uint32_t n, std::uint32_t smoke_n) {
 std::size_t scaled_trials(std::size_t base) {
   const double t = std::round(static_cast<double>(base) * scale());
   return static_cast<std::size_t>(std::max(1.0, t));
+}
+
+JsonArtifact::JsonArtifact(std::string bench_name)
+    : bench_(std::move(bench_name)) {
+  if (const char* label = std::getenv("GQ_BENCH_LABEL")) label_ = label;
+}
+
+void JsonArtifact::add(PerfRecord record) {
+  if (record.bench.empty()) record.bench = bench_;
+  records_.push_back(std::move(record));
+}
+
+JsonArtifact::~JsonArtifact() {
+  const char* path = std::getenv("GQ_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0' || records_.empty()) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "GQ_BENCH_JSON: cannot open %s for writing\n", path);
+    return;
+  }
+  // Strings written here are bench/pipeline identifiers and env labels —
+  // no escaping beyond quotes is attempted, so keep labels simple.
+  std::fprintf(f, "{\n  \"schema\": \"gq-bench-engine/1\",\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", bench_.c_str());
+  std::fprintf(f, "  \"label\": \"%s\",\n", label_.c_str());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const PerfRecord& r = records_[i];
+    const double speedup =
+        (r.seq_seconds > 0.0 && r.seconds > 0.0) ? r.seq_seconds / r.seconds
+                                                 : 0.0;
+    std::fprintf(
+        f,
+        "    {\"bench\": \"%s\", \"label\": \"%s\", \"pipeline\": \"%s\", "
+        "\"executor\": \"%s\", \"n\": %llu, \"threads\": %u, "
+        "\"rounds\": %llu, \"seconds\": %.6f, \"seq_seconds\": %.6f, "
+        "\"speedup_vs_sequential\": %.4f}%s\n",
+        r.bench.c_str(), label_.c_str(), r.pipeline.c_str(),
+        r.executor.c_str(), static_cast<unsigned long long>(r.n), r.threads,
+        static_cast<unsigned long long>(r.rounds), r.seconds, r.seq_seconds,
+        speedup, i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace gq::bench

@@ -1,5 +1,7 @@
 // Shared output helpers for the experiment harness: every bench prints
-// markdown tables so EXPERIMENTS.md rows can be pasted verbatim.
+// markdown tables so EXPERIMENTS.md rows can be pasted verbatim, and can
+// additionally emit machine-readable timing records (see JsonArtifact) so
+// the perf trajectory survives in BENCH_engine.json instead of scrollback.
 #pragma once
 
 #include <cstdint>
@@ -28,21 +30,78 @@ class Table {
 void print_header(const std::string& id, const std::string& title,
                   const std::string& claim);
 
-// GQ_BENCH_SCALE env (default 1.0) scales trial counts; GQ_BENCH_FAST=1
-// trims the largest problem sizes for smoke runs.
+// GQ_BENCH_SCALE env (default 1.0) scales trial counts; GQ_BENCH_FAST
+// trims the largest problem sizes for smoke runs.  Boolean envs accept
+// 1/true/yes/on (and 0/false/no/off as an explicit off); any other
+// non-empty value aborts with a diagnostic rather than being silently
+// ignored, so a CI misconfiguration like GQ_BENCH_SMOKE=yes please is
+// visible instead of quietly running the multi-minute full sweep.
 [[nodiscard]] double scale();
 [[nodiscard]] bool fast_mode();
 
-// GQ_BENCH_SMOKE=1 shrinks problem sizes to CI-smoke scale: the bench
+// GQ_BENCH_SMOKE shrinks problem sizes to CI-smoke scale: the bench
 // exercises every code path but measures nothing meaningful.  Used by the
 // CI bench-smoke job to keep bench targets from bit-rotting.
 [[nodiscard]] bool smoke_mode();
 
-// n, or the CI-smoke substitute when GQ_BENCH_SMOKE=1.
+// n, or the CI-smoke substitute when GQ_BENCH_SMOKE is on.
 [[nodiscard]] std::uint32_t smoke_capped(std::uint32_t n,
                                          std::uint32_t smoke_n = 10000);
 
 // max(1, round(base * scale()))
 [[nodiscard]] std::size_t scaled_trials(std::size_t base);
+
+// ---- machine-readable perf records ----------------------------------------
+//
+// One record per measured configuration.  `pipeline` names the workload
+// ("approx_quantile", "exact_quantile", "pull_round", ...), `executor`
+// distinguishes the sequential Network path from the engine, and
+// `seq_seconds` is the sequential reference the speedup is computed
+// against (0 when the row has no sequential twin).
+struct PerfRecord {
+  std::string bench;     // emitting binary, e.g. "bench_pipeline_scale"
+  std::string pipeline;  // workload name
+  std::string executor;  // "network" | "engine"
+  std::uint64_t n = 0;
+  unsigned threads = 1;
+  std::uint64_t rounds = 0;
+  double seconds = 0.0;
+  double seq_seconds = 0.0;  // sequential reference for this (pipeline, n)
+};
+
+// Collects PerfRecords and writes them as a BENCH_engine.json fragment when
+// GQ_BENCH_JSON names a path (no file is written otherwise).  The schema is
+// documented in README.md ("Performance"); records carry an optional label
+// from GQ_BENCH_LABEL (e.g. a git revision) so before/after runs can live
+// in one merged artifact — see scripts/bench_diff.
+class JsonArtifact {
+ public:
+  explicit JsonArtifact(std::string bench_name);
+  // Writes on destruction so benches cannot forget to flush.
+  ~JsonArtifact();
+
+  void add(PerfRecord record);
+
+  // Convenience for the common row shape.  Pass seq_seconds = 0 when the
+  // row has no sequential twin (e.g. an engine-only sweep normalised
+  // against its own 1-thread run).
+  void add(const char* pipeline, const char* executor, std::uint64_t n,
+           unsigned threads, std::uint64_t rounds, double seconds,
+           double seq_seconds) {
+    add(PerfRecord{.bench = {},
+                   .pipeline = pipeline,
+                   .executor = executor,
+                   .n = n,
+                   .threads = threads,
+                   .rounds = rounds,
+                   .seconds = seconds,
+                   .seq_seconds = seq_seconds});
+  }
+
+ private:
+  std::string bench_;
+  std::string label_;
+  std::vector<PerfRecord> records_;
+};
 
 }  // namespace gq::bench

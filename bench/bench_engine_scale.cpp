@@ -44,6 +44,11 @@ double mnrs(std::uint64_t nodes, std::uint64_t rounds, double secs) {
   return static_cast<double>(nodes) * static_cast<double>(rounds) / secs / 1e6;
 }
 
+bench::JsonArtifact& artifact() {
+  static bench::JsonArtifact a("bench_engine_scale");
+  return a;
+}
+
 void pull_round_table(std::uint32_t n, std::uint64_t rounds) {
   bench::Table table(
       {"executor", "threads", "rounds", "Mnode-rounds/s", "speedup"});
@@ -53,6 +58,7 @@ void pull_round_table(std::uint32_t n, std::uint64_t rounds) {
   const double seq_secs = seconds_since(t0);
   table.add_row({"Network (sequential)", "1", bench::fmt_u(rounds),
                  bench::fmt(mnrs(n, rounds, seq_secs)), "1.00"});
+  artifact().add("pull_round", "network", n, 1, rounds, seq_secs, seq_secs);
 
   std::vector<std::uint32_t> peers(n);
   for (unsigned threads : kThreadSweep) {
@@ -63,6 +69,7 @@ void pull_round_table(std::uint32_t n, std::uint64_t rounds) {
     table.add_row({"Engine pull_round", std::to_string(threads),
                    bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
                    bench::fmt(seq_secs / secs)});
+    artifact().add("pull_round", "engine", n, threads, rounds, secs, seq_secs);
   }
   table.print();
 }
@@ -89,6 +96,7 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
     seq_secs = seconds_since(t0);
     table.add_row({"runtime (sequential)", "1", bench::fmt_u(rounds),
                    bench::fmt(mnrs(n, rounds, seq_secs)), "1.00"});
+    artifact().add("median_dynamics", "network", n, 1, rounds, seq_secs, seq_secs);
   }
 
   for (unsigned threads : kThreadSweep) {
@@ -104,6 +112,8 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
     table.add_row({"engine adapter", std::to_string(threads),
                    bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
                    bench::fmt(seq_secs / secs)});
+    artifact().add("median_dynamics_adapter", "engine", n, threads, rounds, secs,
+           seq_secs);
   }
 
   for (unsigned threads : kThreadSweep) {
@@ -115,6 +125,8 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
     table.add_row({"engine batched kernel", std::to_string(threads),
                    bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
                    bench::fmt(seq_secs / secs)});
+    artifact().add("median_dynamics_kernel", "engine", n, threads, rounds, secs,
+           seq_secs);
   }
   table.print();
 }
@@ -138,6 +150,10 @@ void kernel_only_table(std::uint32_t n, std::uint64_t iterations) {
     table.add_row({"engine batched kernel", std::to_string(threads),
                    bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
                    bench::fmt(base_secs / secs)});
+    // No sequential twin in this sweep (the table normalises against the
+    // 1-thread engine run); per the PerfRecord contract seq_seconds is 0.
+    artifact().add("median_dynamics_kernel", "engine", n, threads, rounds, secs,
+                   0.0);
   }
   table.print();
 }

@@ -40,6 +40,11 @@ double mnrs(std::uint64_t nodes, std::uint64_t rounds, double secs) {
   return static_cast<double>(nodes) * static_cast<double>(rounds) / secs / 1e6;
 }
 
+bench::JsonArtifact& artifact() {
+  static bench::JsonArtifact a("bench_pipeline_scale");
+  return a;
+}
+
 void approx_table(std::uint32_t n) {
   const auto values = generate_values(Distribution::kUniformReal, n, 171);
   ApproxQuantileParams params;
@@ -58,6 +63,7 @@ void approx_table(std::uint32_t n) {
     rounds = r.rounds;
     table.add_row({"Network (sequential)", "1", bench::fmt_u(rounds),
                    bench::fmt(mnrs(n, rounds, seq_secs)), "1.00"});
+    artifact().add("approx_quantile", "network", n, 1, rounds, seq_secs, seq_secs);
   }
   for (unsigned threads : kThreadSweep) {
     Engine engine(n, 1234, FailureModel{}, EngineConfig{.threads = threads});
@@ -67,6 +73,7 @@ void approx_table(std::uint32_t n) {
     table.add_row({"Engine pipeline", std::to_string(threads),
                    bench::fmt_u(r.rounds), bench::fmt(mnrs(n, r.rounds, secs)),
                    bench::fmt(seq_secs / secs)});
+    artifact().add("approx_quantile", "engine", n, threads, r.rounds, secs, seq_secs);
   }
   table.print();
 }
@@ -86,6 +93,7 @@ void exact_table(std::uint32_t n) {
     seq_secs = seconds_since(t0);
     table.add_row({"Network (sequential)", "1", bench::fmt_u(r.rounds),
                    bench::fmt(mnrs(n, r.rounds, seq_secs)), "1.00"});
+    artifact().add("exact_quantile", "network", n, 1, r.rounds, seq_secs, seq_secs);
   }
   for (unsigned threads : kThreadSweep) {
     Engine engine(n, 4321, FailureModel{}, EngineConfig{.threads = threads});
@@ -95,6 +103,7 @@ void exact_table(std::uint32_t n) {
     table.add_row({"Engine pipeline", std::to_string(threads),
                    bench::fmt_u(r.rounds), bench::fmt(mnrs(n, r.rounds, secs)),
                    bench::fmt(seq_secs / secs)});
+    artifact().add("exact_quantile", "engine", n, threads, r.rounds, secs, seq_secs);
   }
   table.print();
 }

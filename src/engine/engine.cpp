@@ -20,25 +20,6 @@ Engine::Engine(std::uint32_t n, std::uint64_t seed, FailureModel failures,
   shard_scratch_.resize(num_shards_);
 }
 
-void Engine::parallel_shards(const ShardFn& fn) {
-  const std::uint32_t shard_size = config_.shard_size;
-  pool_.run(num_shards_, [&](std::size_t s) {
-    const std::uint32_t begin =
-        static_cast<std::uint32_t>(s * static_cast<std::size_t>(shard_size));
-    const std::uint32_t end =
-        s + 1 == num_shards_
-            ? n_
-            : static_cast<std::uint32_t>((s + 1) *
-                                         static_cast<std::size_t>(shard_size));
-    Metrics& local = shard_scratch_[s];
-    local = Metrics{};
-    fn(begin, end, local);
-  });
-  // Deterministic aggregation: shard order is fixed by (n, shard_size),
-  // independent of which thread ran which shard.
-  for (const Metrics& local : shard_scratch_) metrics_.merge(local);
-}
-
 void Engine::pull_round(std::uint64_t bits_per_message,
                         std::span<std::uint32_t> peers_out) {
   GQ_REQUIRE(peers_out.size() == n_, "peer output array must have one slot per node");

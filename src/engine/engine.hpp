@@ -40,10 +40,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
+#include <typeindex>
+#include <utility>
 #include <vector>
 
+#include "engine/arena.hpp"
 #include "engine/engine_config.hpp"
 #include "engine/thread_pool.hpp"
 #include "sim/failure_model.hpp"
@@ -109,16 +112,60 @@ class Engine {
   // in parallel, then merges the shard-local Metrics in shard order.
   // fn must honour the determinism contract above: write only to
   // node-indexed slots within [begin, end) and account traffic only
-  // through `local`.
-  using ShardFn =
-      std::function<void(std::uint32_t begin, std::uint32_t end, Metrics& local)>;
-  void parallel_shards(const ShardFn& fn);
+  // through `local`.  The callable is borrowed, never wrapped in a
+  // std::function — one parallel section costs zero heap allocations once
+  // the shard accumulators' size tables have warmed up.
+  template <typename Fn>
+  void parallel_shards(Fn&& fn) {
+    const std::uint32_t shard_size = config_.shard_size;
+    auto shard_task = [&](std::size_t s) {
+      const std::uint32_t begin =
+          static_cast<std::uint32_t>(s * static_cast<std::size_t>(shard_size));
+      const std::uint32_t end =
+          s + 1 == num_shards_
+              ? n_
+              : static_cast<std::uint32_t>(
+                    (s + 1) * static_cast<std::size_t>(shard_size));
+      Metrics& local = shard_scratch_[s];
+      local.reset();
+      fn(begin, end, local);
+    };
+    pool_.run(num_shards_, shard_task);
+    // Deterministic aggregation: shard order is fixed by (n, shard_size),
+    // independent of which thread ran which shard.
+    for (const Metrics& local : shard_scratch_) metrics_.merge(local);
+  }
 
   // The underlying worker pool, for engine subsystems (e.g. the scatter
   // primitive's delivery pass) that parallelise over units other than the
   // node shards.  Callers own their determinism: tasks must write disjoint
   // slots and must not touch the engine's Metrics.
   [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+  // The engine-owned mailbox arena; Scatter/CombiningScatter check their
+  // rows x partitions box table out of it so mailbox capacity persists
+  // across rounds and pipeline stages.  See engine/arena.hpp.
+  [[nodiscard]] ScatterArena& scatter_arena() noexcept {
+    return scatter_arena_;
+  }
+
+  // Engine-pooled working storage for collectives: one default-constructed
+  // T per (engine, type), created on first use and reused afterwards so a
+  // collective's scratch (e.g. the token split's per-node token store)
+  // keeps its capacity across calls.  Call from the orchestrating thread
+  // only, never from inside a parallel section; reentrancy discipline is
+  // the caller's (collectives on one engine run sequentially).
+  template <typename T>
+  [[nodiscard]] T& scratch() {
+    const std::type_index key(typeid(T));
+    for (auto& [type, ptr] : scratch_) {
+      if (type == key) return *static_cast<T*>(ptr.get());
+    }
+    scratch_.emplace_back(
+        key, std::unique_ptr<void, void (*)(void*)>(
+                 new T(), [](void* p) { delete static_cast<T*>(p); }));
+    return *static_cast<T*>(scratch_.back().second.get());
+  }
 
   // ---- batched whole-round kernels -------------------------------------
 
@@ -152,6 +199,9 @@ class Engine {
   std::size_t num_shards_;
   ThreadPool pool_;
   std::vector<Metrics> shard_scratch_;  // one accumulator per shard
+  ScatterArena scatter_arena_;
+  std::vector<std::pair<std::type_index, std::unique_ptr<void, void (*)(void*)>>>
+      scratch_;  // per-type pooled collective storage
 };
 
 }  // namespace gq

@@ -2,11 +2,56 @@
 
 #include <algorithm>
 #include <array>
+#include <span>
+#include <utility>
+#include <vector>
 
-#include "engine/soa_state.hpp"
+#include "sim/streams.hpp"
 #include "util/require.hpp"
 
 namespace gq {
+namespace {
+
+// Engine-pooled working state for the batched kernels (Engine::scratch):
+// two ping-pong key buffers plus the per-round peer picks.  Ping-pong
+// replaces the per-iteration snapshot copy — commits read buffer A and
+// write buffer B, so A *is* the iteration-start snapshot for free — and
+// the AoS Key layout keeps each random peer read to one cache line where
+// the previous struct-of-arrays layout touched three.
+struct KernelScratch {
+  std::vector<Key> a, b;
+  std::vector<std::uint32_t> picks0, picks1, picks2;
+
+  void ensure(std::uint32_t n) {
+    if (a.size() < n) {
+      a.resize(n);
+      b.resize(n);
+      picks0.resize(n);
+      picks1.resize(n);
+      picks2.resize(n);
+    }
+  }
+};
+
+const Key& median3(const Key& a, const Key& b, const Key& c) {
+  if (a < b) {
+    if (b < c) return b;
+    return a < c ? c : a;
+  }
+  if (a < c) return a;
+  return b < c ? c : b;
+}
+
+// Sharded copy between the caller's key vector and the pooled ping-pong
+// buffers (each kernel copies in on entry and out on exit).
+void copy_keys(Engine& engine, std::span<const Key> from, std::span<Key> to) {
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) to[v] = from[v];
+      });
+}
+
+}  // namespace
 
 RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
                               std::uint64_t iterations,
@@ -20,21 +65,22 @@ RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
     out.all_finished = true;
     return out;
   }
-  SoAKeys cur = SoAKeys::from_keys(state);
-  SoAKeys snap(n);
-  std::vector<std::uint32_t> first(n);
-  std::vector<std::uint32_t> second(n);
+  auto& scratch = engine.scratch<KernelScratch>();
+  scratch.ensure(n);
+  std::span<Key> cur(scratch.a.data(), n);
+  std::span<Key> next(scratch.b.data(), n);
+  const std::span<std::uint32_t> first(scratch.picks0.data(), n);
+  const std::span<std::uint32_t> second(scratch.picks1.data(), n);
+  copy_keys(engine, state, cur);
 
   std::uint64_t completed = 0;
   while (completed < iterations && out.rounds < max_rounds) {
-    // First round of the iteration: snapshot (each shard copies its own
-    // slice; the section barrier completes it before any cross-shard read
-    // next round) and the first sample.
+    // First round of the iteration: the first sample.  `cur` is immutable
+    // until the commit, so it doubles as the iteration-start snapshot.
     engine.begin_round();
     ++out.rounds;
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          snap.copy_slice(cur, begin, end);
           std::uint64_t sent = 0;
           for (std::uint32_t v = begin; v < end; ++v) {
             if (engine.node_fails(v)) {
@@ -51,8 +97,8 @@ RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
     if (out.rounds >= max_rounds) break;  // half iteration: never committed
 
     // Second round: the second sample, with the commit fused in — it reads
-    // only the immutable snapshot plus the node's own slots.  A failed pull
-    // on either round forfeits the iteration's update, as in the protocol.
+    // only the immutable `cur` and writes only `next`.  A failed pull on
+    // either round forfeits the iteration's update, as in the protocol.
     engine.begin_round();
     ++out.rounds;
     engine.parallel_shards(
@@ -71,18 +117,19 @@ RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
           local.record_messages(sent, bits_per_message);
           for (std::uint32_t v = begin; v < end; ++v) {
             if (first[v] == Engine::kNoPeer || second[v] == Engine::kNoPeer) {
+              next[v] = cur[v];
               continue;
             }
-            const Key a = snap.get(first[v]);
-            const Key b = snap.get(second[v]);
-            const Key c = cur.get(v);
-            cur.set(v, std::min(std::max(a, b), std::max(std::min(a, b), c)));
+            const Key& a = cur[first[v]];
+            const Key& b = cur[second[v]];
+            next[v] = median3(a, b, cur[v]);
           }
         });
+    std::swap(cur, next);
     ++completed;
   }
   out.all_finished = completed >= iterations;
-  cur.to_keys(state);
+  copy_keys(engine, cur, state);
   return out;
 }
 
@@ -104,18 +151,21 @@ TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
   const bool suppress_high = side == TournamentSide::kSuppressHigh;
   const std::uint64_t bits = key_bits(n);
 
-  SoAKeys cur = SoAKeys::from_keys(state);
-  SoAKeys snap(n);
-  std::vector<std::uint32_t> first(n);
+  auto& scratch = engine.scratch<KernelScratch>();
+  scratch.ensure(n);
+  std::span<Key> cur(scratch.a.data(), n);
+  std::span<Key> next(scratch.b.data(), n);
+  const std::span<std::uint32_t> first(scratch.picks0.data(), n);
+  copy_keys(engine, state, cur);
 
   for (std::size_t iter = 0; iter < out.schedule.iterations(); ++iter) {
     const double delta = truncate_last ? out.schedule.delta[iter] : 1.0;
 
-    // Round 1: every node pulls its first sample (snapshot fused in).
+    // Round 1: every node pulls its first sample; `cur` is the iteration
+    // snapshot and stays immutable until the commit writes `next`.
     engine.begin_round();
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          snap.copy_slice(cur, begin, end);
           for (std::uint32_t v = begin; v < end; ++v) {
             SplitMix64 stream = engine.node_stream(v);
             first[v] = engine.sample_peer(v, stream);
@@ -124,7 +174,7 @@ TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
         });
 
     // Round 2: the delta coin and, if it lands, the second sample; the
-    // tournament commit reads the immutable snapshot only.
+    // tournament commit reads the immutable `cur` only.
     engine.begin_round();
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
@@ -136,34 +186,22 @@ TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
             if (tournament) {
               const std::uint32_t second = engine.sample_peer(v, stream);
               ++sent;
-              const Key a = snap.get(first[v]);
-              const Key b = snap.get(second);
-              cur.set(v, suppress_high ? std::min(a, b) : std::max(a, b));
+              const Key& a = cur[first[v]];
+              const Key& b = cur[second];
+              next[v] = suppress_high ? std::min(a, b) : std::max(a, b);
             } else {
-              cur.set(v, snap.get(first[v]));
+              next[v] = cur[first[v]];
             }
           }
           local.record_messages(sent, bits);
         });
+    std::swap(cur, next);
 
     ++out.iterations;
   }
-  cur.to_keys(state);
+  copy_keys(engine, cur, state);
   return out;
 }
-
-namespace {
-
-const Key& median3(const Key& a, const Key& b, const Key& c) {
-  if (a < b) {
-    if (b < c) return b;
-    return a < c ? c : a;
-  }
-  if (a < c) return a;
-  return b < c ? c : b;
-}
-
-}  // namespace
 
 ThreeTournamentOutcome three_tournament(Engine& engine,
                                         std::vector<Key>& state, double eps,
@@ -181,66 +219,70 @@ ThreeTournamentOutcome three_tournament(Engine& engine,
   out.schedule = three_tournament_schedule(eps, n);
   const std::uint64_t bits = key_bits(n);
 
-  SoAKeys cur = SoAKeys::from_keys(state);
-  SoAKeys snap(n);
-  std::array<std::vector<std::uint32_t>, 3> picks;
-  for (auto& p : picks) p.resize(n);
+  auto& scratch = engine.scratch<KernelScratch>();
+  scratch.ensure(n);
+  std::span<Key> cur(scratch.a.data(), n);
+  std::span<Key> next(scratch.b.data(), n);
+  const std::array<std::span<std::uint32_t>, 3> picks = {
+      std::span<std::uint32_t>(scratch.picks0.data(), n),
+      std::span<std::uint32_t>(scratch.picks1.data(), n),
+      std::span<std::uint32_t>(scratch.picks2.data(), n)};
+  copy_keys(engine, state, cur);
 
   for (std::size_t iter = 0; iter < out.schedule.iterations(); ++iter) {
-    // Three pulls = three rounds; all read the iteration-start snapshot,
-    // which the first round's shards copy slice-wise before its barrier.
+    // Three pulls = three rounds, all reading the iteration-start state
+    // (`cur` is immutable until the commit, which writes `next`).
     for (int pull = 0; pull < 3; ++pull) {
       engine.begin_round();
       engine.parallel_shards(
           [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-            if (pull == 0) snap.copy_slice(cur, begin, end);
-            auto& out_picks = picks[static_cast<std::size_t>(pull)];
+            const auto& out_picks = picks[static_cast<std::size_t>(pull)];
             for (std::uint32_t v = begin; v < end; ++v) {
               SplitMix64 stream = engine.node_stream(v);
               out_picks[v] = engine.sample_peer(v, stream);
             }
             local.record_messages(end - begin, bits);
             // Fuse the median commit into the last pull round: it reads
-            // only the immutable snapshot and the node's own pick slots.
+            // only the immutable `cur` and the node's own pick slots.
             if (pull == 2) {
               for (std::uint32_t v = begin; v < end; ++v) {
-                cur.set(v, median3(snap.get(picks[0][v]), snap.get(picks[1][v]),
-                                   snap.get(picks[2][v])));
+                next[v] = median3(cur[picks[0][v]], cur[picks[1][v]],
+                                  cur[picks[2][v]]);
               }
             }
           });
     }
+    std::swap(cur, next);
     ++out.iterations;
   }
 
   // Final step: every node samples K values and outputs their median.  The
-  // tournament state is immutable during these rounds; each node owns its
-  // contiguous sample slice.
-  std::vector<Key> samples(static_cast<std::size_t>(n) * k_samples);
-  for (std::uint32_t j = 0; j < k_samples; ++j) {
-    engine.begin_round();
-    engine.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          for (std::uint32_t v = begin; v < end; ++v) {
-            SplitMix64 stream = engine.node_stream(v);
-            samples[static_cast<std::size_t>(v) * k_samples + j] =
-                cur.get(engine.sample_peer(v, stream));
-          }
-          local.record_messages(end - begin, bits);
-        });
-  }
+  // tournament state is immutable during these rounds, so the K sampling
+  // rounds fuse into one parallel section: the round counter advances K
+  // times up front, and each node derives the per-round streams directly —
+  // the same (seed, round, v) derivation the per-round kernel would use,
+  // so draws and Metrics are bit-identical while the K-pass sample matrix
+  // (n x K keys — 360 MB at n = 10^6) disappears entirely.
+  const std::uint64_t first_sample_round = engine.round() + 1;
+  for (std::uint32_t j = 0; j < k_samples; ++j) engine.begin_round();
   out.outputs.resize(n);
   engine.parallel_shards(
-      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+      [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+        std::vector<Key> samp(k_samples);
         for (std::uint32_t v = begin; v < end; ++v) {
-          const auto first_sample =
-              samples.begin() + static_cast<std::size_t>(v) * k_samples;
-          const auto mid = first_sample + k_samples / 2;
-          std::nth_element(first_sample, mid, first_sample + k_samples);
+          for (std::uint32_t j = 0; j < k_samples; ++j) {
+            SplitMix64 stream = streams::node_stream(
+                engine.seed(), first_sample_round + j, v);
+            samp[j] = cur[engine.sample_peer(v, stream)];
+          }
+          const auto mid = samp.begin() + k_samples / 2;
+          std::nth_element(samp.begin(), mid, samp.end());
           out.outputs[v] = *mid;
         }
+        local.record_messages(
+            static_cast<std::uint64_t>(k_samples) * (end - begin), bits);
       });
-  cur.to_keys(state);
+  copy_keys(engine, cur, state);
   return out;
 }
 

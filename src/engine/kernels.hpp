@@ -1,11 +1,14 @@
 // Batched whole-algorithm kernels on the parallel Engine.
 //
 // These run the core/ algorithms as sharded round kernels over contiguous
-// struct-of-arrays key state: no virtual dispatch, no per-node allocation,
-// one or two parallel sections per gossip round.  Each kernel is
-// **bit-identical** to its sequential counterpart — same per-node draw
-// order from the counter-based streams, same commit rule, same Metrics —
-// which the engine test suite pins at 1, 2, and 8 threads:
+// engine-pooled key state: no virtual dispatch, no per-node allocation,
+// one to three parallel sections per gossip round.  State lives in two
+// ping-pong Key buffers — commits read buffer A and write buffer B, so A
+// doubles as the iteration-start snapshot with no copy, and each random
+// peer read touches one cache line.  Each kernel is **bit-identical** to
+// its sequential counterpart — same per-node draw order from the
+// counter-based streams, same commit rule, same Metrics — which the
+// engine test suite pins at 1, 2, and 8 threads:
 //
 //   * median_dynamics       == MedianDynamicsProtocol via run_protocols
 //   * two_tournament        == core/two_tournament (Algorithm 1)

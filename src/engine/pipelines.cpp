@@ -6,11 +6,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <atomic>
+#include <memory>
+
 #include "agg/push_sum.hpp"
 #include "analysis/theory_bounds.hpp"
 #include "core/exact_pipeline.hpp"
+#include "engine/arena.hpp"
 #include "engine/kernels.hpp"
 #include "engine/scatter.hpp"
+#include "engine/token_store.hpp"
 #include "util/require.hpp"
 #include "workload/tiebreak.hpp"
 
@@ -115,6 +120,28 @@ GenericSpreadResult<T> engine_spread_best(Engine& engine,
 // its masses and scatters one message; the scatter delivers each
 // destination's incoming masses in ascending sender order, which is the
 // exact floating-point fold order of the sequential for-loop.
+//
+// Working state is engine-pooled (Engine::scratch) and first-touch
+// initialized: each shard's slice of the arrays is first written by the
+// worker that owns the shard, and the per-destination accumulators by their
+// partition's delivery task — so repeated counting stages reuse warm,
+// NUMA-local pages instead of re-allocating n-sized vectors per call.
+//
+// A node's value masses and weight mass live in ONE struct, not parallel
+// arrays: the delivery fold makes two random-indexed accesses per message
+// (read the sender's pair, bump the destination's accumulator pair), and
+// keeping each pair on one cache line instead of two halves the lines the
+// L2 has to serve on the hottest loop of the counting stages.
+template <std::size_t D>
+struct PushSumScratch {
+  struct Pair {
+    std::array<double, D> s;
+    double w;
+  };
+  FirstTouchBuffer<Pair> state;   // each node's current (s, w)
+  FirstTouchBuffer<Pair> inflow;  // accumulated incoming masses
+};
+
 template <std::size_t D>
 MultiPushSumResult<D> engine_push_sum_average_multi(
     Engine& engine, std::span<const std::array<double, D>> x,
@@ -124,53 +151,72 @@ MultiPushSumResult<D> engine_push_sum_average_multi(
   if (rounds == 0) rounds = push_sum_rounds_default(n, engine.failures());
   const std::uint64_t bits = push_sum_message_bits(D);
 
-  struct Mass {
-    std::array<double, D> s;
-    double w;
-  };
+  using Pair = typename PushSumScratch<D>::Pair;
+  auto& scratch = engine.scratch<PushSumScratch<D>>();
+  scratch.state.ensure(n);
+  scratch.inflow.ensure(n);
+  const std::span<Pair> state = scratch.state.span(n);
+  const std::span<Pair> inflow = scratch.inflow.span(n);
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          state[v].s = x[v];
+          state[v].w = 1.0;
+        }
+      });
+  // inflow needs no init: each round's delivery prologue zeroes it, which
+  // also first-touches each slice from the partition task that owns it.
 
-  std::vector<std::array<double, D>> s(x.begin(), x.end());
-  std::vector<double> w(n, 1.0);
-  std::vector<std::array<double, D>> s_in(n);
-  std::vector<double> w_in(n);
-  std::vector<std::uint32_t> dests(n);
-  Scatter<Mass> scatter(engine);
-
+  // Two parallel sections per round, not four: the peer draw (the batched
+  // twin of push_round — same per-node stream derivation, same per-shard
+  // message accounting) is fused with the halve-and-send loop, and the
+  // "add the incoming masses" commit rides as the delivery epilogue while
+  // the partition's accumulators are cache-resident.  Messages carry the
+  // halved (s, w) pair inline — a pure streaming read on delivery — and
+  // the fold touches exactly one random-indexed accumulator Pair per
+  // message.  The floating-point schedule is the sequential one — halve
+  // own pair, accumulate incoming in ascending sender order, add the
+  // accumulator once — so results stay bit-identical.
+  Scatter<Pair> scatter(engine);
   for (std::uint64_t r = 0; r < rounds; ++r) {
-    engine.push_round(bits, dests);
+    engine.begin_round();
     scatter.begin_round();
     engine.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          auto out = scatter.sender_for(begin);
+          std::uint64_t sent = 0;
           for (std::uint32_t v = begin; v < end; ++v) {
-            const std::uint32_t d = dests[v];
-            if (d == Engine::kNoPeer) continue;  // failed: keeps whole pair
-            Mass m;
-            for (std::size_t j = 0; j < D; ++j) {
-              s[v][j] *= 0.5;
-              m.s[j] = s[v][j];
+            if (engine.node_fails(v)) {  // failed: keeps whole pair
+              ++local.failed_operations;
+              continue;
             }
-            w[v] *= 0.5;
-            m.w = w[v];
-            scatter.send(v, d, m);
+            SplitMix64 stream = engine.node_stream(v);
+            const std::uint32_t d = engine.sample_peer(v, stream);
+            ++sent;
+            for (std::size_t j = 0; j < D; ++j) state[v].s[j] *= 0.5;
+            state[v].w *= 0.5;
+            out.send(d, state[v]);
           }
+          local.record_messages(sent, bits);
         });
     scatter.deliver(
         engine,
         [&](std::uint32_t first, std::uint32_t last) {
           for (std::uint32_t v = first; v < last; ++v) {
-            s_in[v].fill(0.0);
-            w_in[v] = 0.0;
+            inflow[v].s.fill(0.0);
+            inflow[v].w = 0.0;
           }
         },
-        [&](std::uint32_t dest, const Mass& m) {
-          for (std::size_t j = 0; j < D; ++j) s_in[dest][j] += m.s[j];
-          w_in[dest] += m.w;
-        });
-    engine.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
-          for (std::uint32_t v = begin; v < end; ++v) {
-            for (std::size_t j = 0; j < D; ++j) s[v][j] += s_in[v][j];
-            w[v] += w_in[v];
+        [&](std::uint32_t dest, const Pair& m) {
+          for (std::size_t j = 0; j < D; ++j) inflow[dest].s[j] += m.s[j];
+          inflow[dest].w += m.w;
+        },
+        [&](std::uint32_t first, std::uint32_t last) {
+          for (std::uint32_t v = first; v < last; ++v) {
+            for (std::size_t j = 0; j < D; ++j) {
+              state[v].s[j] += inflow[v].s[j];
+            }
+            state[v].w += inflow[v].w;
           }
         });
   }
@@ -182,7 +228,7 @@ MultiPushSumResult<D> engine_push_sum_average_multi(
       [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
         for (std::uint32_t v = begin; v < end; ++v) {
           for (std::size_t j = 0; j < D; ++j) {
-            out.estimates[v][j] = s[v][j] / w[v];
+            out.estimates[v][j] = state[v].s[j] / state[v].w;
           }
         }
       });
@@ -324,6 +370,33 @@ PivotSample sample_uniform_candidate(Engine& engine,
   return out;
 }
 
+namespace {
+
+// Engine-pooled working state of the batched token split: the flat token
+// store plus the incrementally maintained counters that replace the
+// sequential version's per-round full rescans.  heavy counts track tokens
+// with weight > 1 (Phase A's continuation condition), crowded counts track
+// nodes holding >= 2 tokens (Phase B's).  Per-shard counters are atomics
+// because delivery tasks are partitioned by *destination* range, which
+// need not align with shard boundaries; only their sums are observed
+// (after a section barrier), so relaxed updates stay deterministic.
+struct TokenSplitScratch {
+  TokenStore store;
+  FirstTouchBuffer<std::uint32_t> heavy_node;  // heavy tokens held per node
+  std::unique_ptr<std::atomic<std::int64_t>[]> heavy_shard;
+  std::unique_ptr<std::atomic<std::int64_t>[]> crowded_shard;
+  std::size_t shard_capacity = 0;
+
+  void ensure_shards(std::size_t shards) {
+    if (shards <= shard_capacity) return;
+    heavy_shard = std::make_unique<std::atomic<std::int64_t>[]>(shards);
+    crowded_shard = std::make_unique<std::atomic<std::int64_t>[]>(shards);
+    shard_capacity = shards;
+  }
+};
+
+}  // namespace
+
 TokenSplitResult token_split_distribute(Engine& engine,
                                         std::span<const Key> inst,
                                         std::uint64_t multiplier,
@@ -339,14 +412,40 @@ TokenSplitResult token_split_distribute(Engine& engine,
   GQ_REQUIRE(multiplier * finite <= 4ull * n / 5 + 1,
              "token count must leave >= n/5 nodes free for scattering");
 
-  std::vector<std::vector<Token>> held(n);
+  const std::uint32_t shard_size = engine.config().shard_size;
+  const std::size_t shards = engine.num_shards();
+  auto& scratch = engine.scratch<TokenSplitScratch>();
+  TokenStore& held = scratch.store;
+  held.ensure(n);
+  scratch.heavy_node.ensure(n);
+  scratch.ensure_shards(shards);
+  const std::span<std::uint32_t> heavy_node = scratch.heavy_node.span(n);
+  const auto heavy_shard = scratch.heavy_shard.get();
+  const auto crowded_shard = scratch.crowded_shard.get();
+  for (std::size_t s = 0; s < shards; ++s) {
+    crowded_shard[s].store(0, std::memory_order_relaxed);
+  }
+
+  // Mint one token per valued node, from its owning shard (clear_node also
+  // first-touches the node's slots on that worker).  Every minted token is
+  // heavy unless the multiplier is already 1.
+  const bool mint_heavy = multiplier > 1;
   engine.parallel_shards(
       [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        std::int64_t heavy = 0;
         for (std::uint32_t v = begin; v < end; ++v) {
+          held.clear_node(v);
+          heavy_node[v] = 0;
           if (inst[v].is_finite()) {
-            held[v].push_back(Token{inst[v], multiplier});
+            held.push_back(v, Token{inst[v], multiplier});
+            if (mint_heavy) {
+              heavy_node[v] = 1;
+              ++heavy;
+            }
           }
         }
+        heavy_shard[shard_index(engine, begin)].store(
+            heavy, std::memory_order_relaxed);
       });
 
   TokenSplitResult out;
@@ -356,35 +455,41 @@ TokenSplitResult token_split_distribute(Engine& engine,
       std::bit_width(static_cast<std::uint64_t>(n)));
   const std::uint64_t round_cap = 64 * log2n + 512;
 
-  const std::size_t shards = engine.num_shards();
-  std::vector<std::uint8_t> flags(shards, 0);
-  const auto any_flag = [&] {
-    return std::any_of(flags.begin(), flags.end(),
-                       [](std::uint8_t f) { return f != 0; });
+  const auto counter_total = [shards](const std::atomic<std::int64_t>* arr) {
+    std::int64_t total = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      total += arr[s].load(std::memory_order_relaxed);
+    }
+    return total;
   };
+
   Scatter<Token> scatter(engine);
+  // Delivery fold of both phases: append in ascending sender order (the
+  // sequential order) and roll the incremental counters forward.  A
+  // delivered heavy token raises its destination's heavy counts; a second
+  // token on a node makes that node crowded.
   const auto append_token = [&](std::uint32_t dest, const Token& t) {
-    held[dest].push_back(t);
+    const std::uint32_t before = held.size(dest);
+    held.push_back(dest, t);
+    if (t.weight > 1) {
+      ++heavy_node[dest];
+      heavy_shard[dest / shard_size].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (before == 1) {
+      crowded_shard[dest / shard_size].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
   };
 
   // Phase A: halve weights.  Each round a node splits at most one of its
   // weight>1 tokens; the pushed half travels to a uniform node.  A failed
-  // operation leaves the token whole (the Section-5.2 merge-back).
+  // operation leaves the token whole (the Section-5.2 merge-back).  The
+  // continuation condition "any heavy token anywhere" reads the maintained
+  // counters — no rescan of n token lists per round — and shards whose
+  // heavy count is zero skip their node loop outright (their nodes would
+  // all fall through the sequential find-first-heavy check).
   while (true) {
-    engine.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
-          std::uint8_t heavy = 0;
-          for (std::uint32_t v = begin; v < end && !heavy; ++v) {
-            for (const Token& t : held[v]) {
-              if (t.weight > 1) {
-                heavy = 1;
-                break;
-              }
-            }
-          }
-          flags[shard_index(engine, begin)] = heavy;
-        });
-    if (!any_flag()) break;
+    if (counter_total(heavy_shard) == 0) break;
     if (out.rounds > round_cap) {
       throw std::runtime_error("token splitting did not converge");
     }
@@ -394,41 +499,42 @@ TokenSplitResult token_split_distribute(Engine& engine,
     scatter.begin_round();
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          const std::size_t sidx = shard_index(engine, begin);
+          if (heavy_shard[sidx].load(std::memory_order_relaxed) == 0) return;
+          auto out = scatter.sender_for(begin);
           std::uint64_t sent = 0;
+          std::int64_t heavy_delta = 0;
           for (std::uint32_t v = begin; v < end; ++v) {
-            auto heavy =
-                std::find_if(held[v].begin(), held[v].end(),
-                             [](const Token& t) { return t.weight > 1; });
-            if (heavy == held[v].end()) continue;
+            if (heavy_node[v] == 0) continue;
             if (engine.node_fails(v)) {
               ++local.failed_operations;
               continue;
             }
             SplitMix64 stream = engine.node_stream(v);
             const std::uint32_t dest = engine.sample_peer(v, stream);
-            heavy->weight /= 2;
-            scatter.send(v, dest, Token{heavy->key, heavy->weight});
+            std::uint32_t i = 0;
+            while (held.at(v, i).weight <= 1) ++i;  // first heavy token
+            Token& tok = held.at(v, i);
+            tok.weight /= 2;
+            if (tok.weight == 1) {
+              --heavy_node[v];
+              --heavy_delta;
+            }
+            out.send(dest, Token{tok.key, tok.weight});
             ++sent;
           }
+          heavy_shard[sidx].fetch_add(heavy_delta,
+                                      std::memory_order_relaxed);
           local.record_messages(sent, bits);
         });
     scatter.deliver(engine, append_token);
   }
 
   // Phase B: scatter weight-1 tokens until every node holds at most one.
+  // Same counter treatment: the crowded counts gate the loop and let
+  // all-settled shards skip their node loop.
   while (true) {
-    engine.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
-          std::uint8_t crowded = 0;
-          for (std::uint32_t v = begin; v < end; ++v) {
-            if (held[v].size() > 1) {
-              crowded = 1;
-              break;
-            }
-          }
-          flags[shard_index(engine, begin)] = crowded;
-        });
-    if (!any_flag()) break;
+    if (counter_total(crowded_shard) == 0) break;
     if (out.rounds > 4 * round_cap) {
       throw std::runtime_error("token scattering did not converge");
     }
@@ -438,19 +544,28 @@ TokenSplitResult token_split_distribute(Engine& engine,
     scatter.begin_round();
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          const std::size_t sidx = shard_index(engine, begin);
+          if (crowded_shard[sidx].load(std::memory_order_relaxed) == 0) {
+            return;
+          }
+          auto out = scatter.sender_for(begin);
           std::uint64_t sent = 0;
+          std::int64_t crowded_delta = 0;
           for (std::uint32_t v = begin; v < end; ++v) {
-            if (held[v].size() < 2) continue;
+            if (held.size(v) < 2) continue;
             if (engine.node_fails(v)) {
               ++local.failed_operations;
               continue;
             }
             SplitMix64 stream = engine.node_stream(v);
             const std::uint32_t dest = engine.sample_peer(v, stream);
-            scatter.send(v, dest, held[v].back());
-            held[v].pop_back();
+            out.send(dest, held.back(v));
+            held.pop_back(v);
+            if (held.size(v) == 1) --crowded_delta;
             ++sent;
           }
+          crowded_shard[sidx].fetch_add(crowded_delta,
+                                        std::memory_order_relaxed);
           local.record_messages(sent, bits);
         });
     scatter.deliver(engine, append_token);
@@ -460,8 +575,8 @@ TokenSplitResult token_split_distribute(Engine& engine,
   engine.parallel_shards(
       [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
         for (std::uint32_t v = begin; v < end; ++v) {
-          if (held[v].empty()) continue;
-          const Token& t = held[v].front();
+          if (held.size(v) == 0) continue;
+          const Token& t = held.front(v);
           out.instance[v] = Key{t.key.value, t.key.id, tag_base + v};
         }
       });

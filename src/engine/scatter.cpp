@@ -1,26 +1,41 @@
 #include "engine/scatter.hpp"
 
+#include <bit>
+
 namespace gq {
 
 ScatterLayout ScatterLayout::for_engine(const Engine& engine) {
+  return for_geometry(engine.size(), engine.config().shard_size,
+                      engine.num_shards());
+}
+
+ScatterLayout ScatterLayout::for_geometry(std::uint32_t n,
+                                          std::uint32_t shard_size,
+                                          std::size_t rows) {
   ScatterLayout layout;
-  layout.n = engine.size();
-  layout.shard_size = engine.config().shard_size;
-  layout.rows = engine.num_shards();
+  layout.n = n;
+  layout.shard_size = shard_size;
+  layout.rows = rows;
   // Partition boundaries depend on (n, shard_size) only — the thread count
-  // must stay a pure performance knob.  Capping the partition count bounds
-  // the mailbox table at rows * kMaxPartitions vectors.
-  layout.partitions = layout.rows < kMaxPartitions ? layout.rows
-                                                   : kMaxPartitions;
-  const std::uint64_t width =
-      (static_cast<std::uint64_t>(layout.n) + layout.partitions - 1) /
-      layout.partitions;
-  layout.partition_size = static_cast<std::uint32_t>(width);
-  GQ_REQUIRE(layout.partition_size > 0, "scatter partition width must be positive");
-  // Rounding can leave trailing empty partitions; trim so every delivery
-  // task owns a non-empty destination range.
-  layout.partitions =
-      (layout.n + layout.partition_size - 1) / layout.partition_size;
+  // must stay a pure performance knob.  Widths are powers of two so the
+  // per-message partition lookup is a shift (see partition_of), at least
+  // kMinPartitionShift so per-destination accumulator slices stay
+  // cache-resident while a partition drains, and large enough to cap the
+  // partition count — which bounds the mailbox table at
+  // rows * kMaxPartitions boxes.  64-bit arithmetic throughout: n close to
+  // UINT32_MAX must not wrap.
+  const std::uint64_t cap_width =
+      (static_cast<std::uint64_t>(layout.n) + kMaxPartitions - 1) /
+      kMaxPartitions;
+  const std::uint32_t cap_shift =
+      cap_width <= 1 ? 0
+                     : static_cast<std::uint32_t>(std::bit_width(cap_width - 1));
+  layout.partition_shift = std::max(kMinPartitionShift, cap_shift);
+  const std::uint64_t pow2_width = std::uint64_t{1} << layout.partition_shift;
+  // Trim so every delivery task owns a non-empty destination range.
+  layout.partitions = static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(layout.n) + pow2_width - 1) >>
+      layout.partition_shift);
   return layout;
 }
 

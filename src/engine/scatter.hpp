@@ -23,6 +23,13 @@
 //      produces.  The fold result is therefore bit-identical at any thread
 //      count and any shard size.
 //
+// Mailboxes live in the engine's ScatterArena (engine/arena.hpp): a Scatter
+// checks the rows x partitions box table out for its lifetime and returns
+// it, so mailbox capacity persists across rounds, pipeline stages, and
+// payload types — steady-state rounds allocate nothing.  Records are
+// memcpy-framed into the byte boxes, which is why payloads must be
+// trivially copyable (they model wire messages; all of ours are).
+//
 // CombiningScatter is the counter-payload variant: payloads whose fold is
 // exactly associative and commutative (integer counters, bitmasks) may be
 // merged before delivery, shrinking mailboxes when a sender emits bursts to
@@ -31,9 +38,12 @@
 #pragma once
 
 #include <cstdint>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "engine/arena.hpp"
 #include "engine/engine.hpp"
 #include "util/require.hpp"
 
@@ -46,31 +56,145 @@ namespace gq {
 // (n, shard_size) — never of the thread count.
 struct ScatterLayout {
   std::uint32_t n = 0;
-  std::uint32_t shard_size = 0;      // sender row granularity
-  std::size_t rows = 0;              // number of sender shards
-  std::uint32_t partition_size = 0;  // destination partition width
+  std::uint32_t shard_size = 0;   // sender row granularity
+  std::size_t rows = 0;           // number of sender shards
+  std::uint32_t partition_shift = 0;  // destination partition width: 2^shift
   std::size_t partitions = 0;
 
-  // Delivery parallelism cap: keeps rows * partitions mailboxes cheap even
-  // for very fine shard sizes.
+  // Partition-count cap: keeps rows * partitions mailboxes cheap even for
+  // very fine shard sizes, and keeps each box's record run long enough to
+  // stream well (more, smaller boxes fragment the delivery read path).
   static constexpr std::size_t kMaxPartitions = 64;
+  // Minimum partition width (2^12 = 4096 destinations): below this a
+  // partition's accumulator slice is so small that per-box and per-task
+  // overheads dominate, so tiny instances collapse into fewer partitions.
+  static constexpr std::uint32_t kMinPartitionShift = 12;
 
   [[nodiscard]] static ScatterLayout for_engine(const Engine& engine);
+  // The geometry is a pure function of (n, shard_size); this factory is
+  // the engine-free entry point (layout boundary tests use it).
+  [[nodiscard]] static ScatterLayout for_geometry(std::uint32_t n,
+                                                  std::uint32_t shard_size,
+                                                  std::size_t rows);
 
   [[nodiscard]] std::size_t row_of(std::uint32_t sender) const noexcept {
     return sender / shard_size;
   }
+  // Partition widths are powers of two, so the per-message destination
+  // lookup is a shift — send() sits on the hottest per-message path in the
+  // whole engine and a runtime division here is measurable.  (Partition
+  // shape is internal geometry: the per-destination fold order depends only
+  // on row order, so this never affects results.)
   [[nodiscard]] std::size_t partition_of(std::uint32_t dest) const noexcept {
-    return dest / partition_size;
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(dest) >>
+                                    partition_shift);
   }
   // Destination range [first, last) of one partition.
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> partition_range(
       std::size_t p) const noexcept {
-    const auto first = static_cast<std::uint32_t>(p * partition_size);
-    const auto last = static_cast<std::uint64_t>(first) + partition_size;
-    return {first, last < n ? static_cast<std::uint32_t>(last) : n};
+    const auto first = static_cast<std::uint64_t>(p) << partition_shift;
+    const auto last = first + (std::uint64_t{1} << partition_shift);
+    return {static_cast<std::uint32_t>(first),
+            last < n ? static_cast<std::uint32_t>(last) : n};
   }
 };
+
+namespace scatter_detail {
+
+// The arena-backed mailbox table both scatter variants sit on: checkout,
+// record framing, and the row-major delivery walk.  Records are framed
+// into the byte slabs with placement-new (write) and laundered pointers
+// (read): every record offset is a multiple of sizeof(Record) from a
+// max-aligned slab base, so access is always aligned, and avoiding a
+// bounce through a stack temporary keeps the per-message cost at parity
+// with a typed vector while letting the slabs be reused across payload
+// types.
+template <typename Record>
+class Mailboxes {
+ public:
+  static_assert(std::is_trivially_copyable_v<Record> &&
+                    std::is_trivially_destructible_v<Record>,
+                "scatter payloads model wire messages and must be "
+                "trivially copyable");
+  static_assert(alignof(Record) <= alignof(std::max_align_t));
+
+  Mailboxes(Engine& engine, const ScatterLayout& layout)
+      : layout_(layout), arena_(&engine.scatter_arena()) {
+    const std::size_t count = layout_.rows * layout_.partitions;
+    boxes_ = arena_->acquire(count);
+    if (boxes_ == nullptr) {
+      // The arena is checked out by an enclosing collective; nest with
+      // private mailboxes instead (pre-arena behaviour).
+      arena_ = nullptr;
+      own_.resize(count);
+      boxes_ = own_.data();
+    }
+  }
+  ~Mailboxes() {
+    if (arena_ != nullptr) arena_->release();
+  }
+
+  Mailboxes(const Mailboxes&) = delete;
+  Mailboxes& operator=(const Mailboxes&) = delete;
+
+  void clear_all() {
+    const std::size_t count = layout_.rows * layout_.partitions;
+    for (std::size_t i = 0; i < count; ++i) boxes_[i].used = 0;
+  }
+
+  [[nodiscard]] ScatterArena::Box& box(std::size_t row, std::size_t p) {
+    return boxes_[row * layout_.partitions + p];
+  }
+
+  // Base of one sender row's boxes; hoists the row lookup out of
+  // per-message sends (the whole row belongs to one shard task).
+  [[nodiscard]] ScatterArena::Box* row_base(std::size_t row) {
+    return boxes_ + row * layout_.partitions;
+  }
+
+  void append(ScatterArena::Box& b, const Record& record) {
+    if (b.used + sizeof(Record) > b.bytes.size()) {
+      if (arena_ != nullptr) {
+        arena_->grow(b, b.used + sizeof(Record));
+      } else {
+        b.bytes.resize(
+            ScatterArena::next_capacity(b, b.used + sizeof(Record)));
+      }
+    }
+    ::new (static_cast<void*>(b.bytes.data() + b.used)) Record(record);
+    b.used += sizeof(Record);
+  }
+
+  [[nodiscard]] static const Record* records(const ScatterArena::Box& b) {
+    return std::launder(reinterpret_cast<const Record*>(b.bytes.data()));
+  }
+  [[nodiscard]] static Record* records(ScatterArena::Box& b) {
+    return std::launder(reinterpret_cast<Record*>(b.bytes.data()));
+  }
+  [[nodiscard]] static std::size_t count(const ScatterArena::Box& b) {
+    return b.used / sizeof(Record);
+  }
+
+  // Applies fn(record) to every record addressed to partition p, mailbox
+  // rows in shard order — i.e. ascending sender order per destination.
+  template <typename Fn>
+  void for_each_in_partition(std::size_t p, Fn&& fn) {
+    for (std::size_t row = 0; row < layout_.rows; ++row) {
+      const ScatterArena::Box& b = box(row, p);
+      const Record* r = records(b);
+      const std::size_t m = count(b);
+      for (std::size_t i = 0; i < m; ++i) fn(r[i]);
+    }
+  }
+
+ private:
+  ScatterLayout layout_;
+  ScatterArena* arena_;  // null when nested: own_ backs the boxes instead
+  ScatterArena::Box* boxes_;
+  std::vector<ScatterArena::Box> own_;
+};
+
+}  // namespace scatter_detail
 
 // Order-preserving scatter: deliver() applies payloads to each destination
 // in ascending sender order.  Use for floating-point folds and for payloads
@@ -78,26 +202,46 @@ struct ScatterLayout {
 template <typename Payload>
 class Scatter {
  public:
-  explicit Scatter(const Engine& engine)
-      : layout_(ScatterLayout::for_engine(engine)),
-        boxes_(layout_.rows * layout_.partitions) {}
+  explicit Scatter(Engine& engine)
+      : layout_(ScatterLayout::for_engine(engine)), boxes_(engine, layout_) {}
 
   [[nodiscard]] const ScatterLayout& layout() const noexcept {
     return layout_;
   }
 
   // Clears every mailbox, keeping capacity for the next round.
-  void begin_round() {
-    for (auto& b : boxes_) b.clear();
-  }
+  void begin_round() { boxes_.clear_all(); }
 
   // Queues one payload.  Must be called from the engine shard that owns
   // `sender` (each row is written by exactly one task); senders within a
   // shard must send in ascending node order, which every node-loop kernel
   // does naturally.
   void send(std::uint32_t sender, std::uint32_t dest, Payload payload) {
-    box(layout_.row_of(sender), layout_.partition_of(dest))
-        .push_back(Record{dest, std::move(payload)});
+    boxes_.append(boxes_.box(layout_.row_of(sender), layout_.partition_of(dest)),
+                  Record{dest, std::move(payload)});
+  }
+
+  // Per-shard send handle: resolves the mailbox row once per shard task
+  // instead of once per message (the row division is real cost at a
+  // million sends per round).  Same ordering contract as send().
+  class Sender {
+   public:
+    void send(std::uint32_t dest, Payload payload) {
+      scatter_->boxes_.append(row_[scatter_->layout_.partition_of(dest)],
+                              Record{dest, std::move(payload)});
+    }
+
+   private:
+    friend class Scatter;
+    Sender(Scatter* scatter, ScatterArena::Box* row)
+        : scatter_(scatter), row_(row) {}
+    Scatter* scatter_;
+    ScatterArena::Box* row_;
+  };
+
+  // The handle for the shard whose node range starts at `shard_begin`.
+  [[nodiscard]] Sender sender_for(std::uint32_t shard_begin) {
+    return Sender(this, boxes_.row_base(layout_.row_of(shard_begin)));
   }
 
   // Applies fold(dest, payload) for every queued record, partitions in
@@ -107,9 +251,8 @@ class Scatter {
   template <typename Fold>
   void deliver(Engine& engine, Fold&& fold) {
     engine.pool().run(layout_.partitions, [&](std::size_t p) {
-      for (std::size_t row = 0; row < layout_.rows; ++row) {
-        for (const Record& r : box(row, p)) fold(r.dest, r.payload);
-      }
+      boxes_.for_each_in_partition(
+          p, [&](const Record& r) { fold(r.dest, r.payload); });
     });
   }
 
@@ -121,9 +264,26 @@ class Scatter {
     engine.pool().run(layout_.partitions, [&](std::size_t p) {
       const auto [first, last] = layout_.partition_range(p);
       prologue(first, last);
-      for (std::size_t row = 0; row < layout_.rows; ++row) {
-        for (const Record& r : box(row, p)) fold(r.dest, r.payload);
-      }
+      boxes_.for_each_in_partition(
+          p, [&](const Record& r) { fold(r.dest, r.payload); });
+    });
+  }
+
+  // Full-round form: prologue(first, last), the fold, then
+  // epilogue(first, last) over the same range — so a collective can zero
+  // its accumulators, fold the incoming payloads, and commit them to the
+  // per-node state in one parallel section while the partition is
+  // cache-resident, instead of paying a separate whole-array pass.
+  // Identical fold order, so results stay bit-identical.
+  template <typename Prologue, typename Fold, typename Epilogue>
+  void deliver(Engine& engine, Prologue&& prologue, Fold&& fold,
+               Epilogue&& epilogue) {
+    engine.pool().run(layout_.partitions, [&](std::size_t p) {
+      const auto [first, last] = layout_.partition_range(p);
+      prologue(first, last);
+      boxes_.for_each_in_partition(
+          p, [&](const Record& r) { fold(r.dest, r.payload); });
+      epilogue(first, last);
     });
   }
 
@@ -133,12 +293,8 @@ class Scatter {
     Payload payload;
   };
 
-  std::vector<Record>& box(std::size_t row, std::size_t p) {
-    return boxes_[row * layout_.partitions + p];
-  }
-
   ScatterLayout layout_;
-  std::vector<std::vector<Record>> boxes_;
+  scatter_detail::Mailboxes<Record> boxes_;
 };
 
 // Scatter for counter-style payloads: `combine` must be exactly associative
@@ -151,35 +307,36 @@ class Scatter {
 template <typename Payload, typename Combine>
 class CombiningScatter {
  public:
-  explicit CombiningScatter(const Engine& engine, Combine combine = Combine{})
+  explicit CombiningScatter(Engine& engine, Combine combine = Combine{})
       : layout_(ScatterLayout::for_engine(engine)),
         combine_(std::move(combine)),
-        boxes_(layout_.rows * layout_.partitions) {}
+        boxes_(engine, layout_) {}
 
   [[nodiscard]] const ScatterLayout& layout() const noexcept {
     return layout_;
   }
 
-  void begin_round() {
-    for (auto& b : boxes_) b.clear();
-  }
+  void begin_round() { boxes_.clear_all(); }
 
   void send(std::uint32_t sender, std::uint32_t dest, const Payload& payload) {
-    auto& b = box(layout_.row_of(sender), layout_.partition_of(dest));
-    if (!b.empty() && b.back().dest == dest) {
-      combine_(b.back().payload, payload);
-      return;
+    auto& b = boxes_.box(layout_.row_of(sender), layout_.partition_of(dest));
+    const std::size_t m = Boxes::count(b);
+    if (m > 0) {
+      Record& last = Boxes::records(b)[m - 1];
+      if (last.dest == dest) {
+        combine_(last.payload, payload);
+        return;
+      }
     }
-    b.push_back(Record{dest, payload});
+    boxes_.append(b, Record{dest, payload});
   }
 
   // Applies fold(dest, payload) for every (possibly pre-combined) record.
   template <typename Fold>
   void deliver(Engine& engine, Fold&& fold) {
     engine.pool().run(layout_.partitions, [&](std::size_t p) {
-      for (std::size_t row = 0; row < layout_.rows; ++row) {
-        for (const Record& r : box(row, p)) fold(r.dest, r.payload);
-      }
+      boxes_.for_each_in_partition(
+          p, [&](const Record& r) { fold(r.dest, r.payload); });
     });
   }
 
@@ -188,14 +345,11 @@ class CombiningScatter {
     std::uint32_t dest;
     Payload payload;
   };
-
-  std::vector<Record>& box(std::size_t row, std::size_t p) {
-    return boxes_[row * layout_.partitions + p];
-  }
+  using Boxes = scatter_detail::Mailboxes<Record>;
 
   ScatterLayout layout_;
   Combine combine_;
-  std::vector<std::vector<Record>> boxes_;
+  Boxes boxes_;
 };
 
 }  // namespace gq

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/require.hpp"
+
 namespace gq {
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -24,71 +26,106 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run(std::size_t num_tasks,
-                     const std::function<void(std::size_t)>& task) {
+void ThreadPool::run_raw(std::size_t num_tasks, RawTask task, void* ctx) {
   if (num_tasks == 0) return;
   if (workers_.empty()) {
-    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    // Single-threaded pools execute inline; a throwing task propagates
+    // directly, exactly like the sequential loop it replaces.
+    for (std::size_t i = 0; i < num_tasks; ++i) task(ctx, i);
     return;
   }
+  GQ_REQUIRE(num_tasks < (std::uint64_t{1} << kIndexBits),
+             "batch too large for the packed claim word");
+
+  // Chunk so each thread claims ~4 chunks per batch: coarse enough that the
+  // claim word is touched O(threads) times, fine enough that an uneven task
+  // mix still load-balances across the pool.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, num_tasks / (std::size_t{threads_} * 4));
+  std::uint64_t generation;
   {
     std::lock_guard lock(mutex_);
-    task_ = &task;
-    num_tasks_ = num_tasks;
-    next_task_ = 0;
-    completed_ = 0;
+    generation = ++generation_;
+    batch_ = Batch{task, ctx, num_tasks, chunk, generation};
+    completed_.store(0, std::memory_order_relaxed);
     batch_error_ = nullptr;
-    ++generation_;
+    // Opening the claim word for this epoch retires every stale claim
+    // attempt at once: a worker still holding last batch's descriptor can
+    // no longer pass the epoch check, so nothing waits on worker exits.
+    claim_.store(pack(generation, 0), std::memory_order_release);
   }
   work_cv_.notify_all();
-  drain_batch();  // the calling thread participates in its own batch
+
+  drain(batch_);  // the calling thread participates in its own batch
+
   std::exception_ptr error;
   {
     std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [&] { return completed_ == num_tasks_; });
-    task_ = nullptr;  // workers that wake late see "no batch" and re-sleep
+    done_cv_.wait(lock, [&] {
+      return completed_.load(std::memory_order_acquire) == num_tasks;
+    });
     error = std::exchange(batch_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::drain_batch() {
+void ThreadPool::drain(const Batch& batch) {
+  const std::uint64_t epoch_tag = pack(batch.generation, 0);
+  std::uint64_t cur = claim_.load(std::memory_order_relaxed);
   for (;;) {
-    std::size_t index;
-    const std::function<void(std::size_t)>* task;
-    {
-      std::lock_guard lock(mutex_);
-      if (task_ == nullptr || next_task_ >= num_tasks_) return;
-      index = next_task_++;
-      task = task_;
+    // One claim per chunk.  The epoch tag fences stale drainers: if a new
+    // batch has been published, the tag mismatch ends this drain before it
+    // can touch the new batch's indices.  (A false match would need the
+    // 32-bit epoch to wrap all the way around within one compare-exchange
+    // attempt — billions of run() calls while this thread sits between two
+    // instructions — which we accept the way seqlocks accept ABA.)
+    if ((cur & ~kIndexMask) != epoch_tag) return;
+    const std::size_t begin = static_cast<std::size_t>(cur & kIndexMask);
+    if (begin >= batch.num_tasks) return;
+    const std::size_t end = std::min(begin + batch.chunk, batch.num_tasks);
+    if (!claim_.compare_exchange_weak(cur, pack(batch.generation, end),
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+      continue;  // lost the race; cur was reloaded
     }
-    try {
-      (*task)(index);
-    } catch (...) {
-      // A throwing task must not kill a worker thread or break the
-      // barrier; remember the first exception for run() to rethrow, count
-      // the index as done, and keep draining.
-      std::lock_guard lock(mutex_);
-      if (!batch_error_) batch_error_ = std::current_exception();
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        batch.task(batch.ctx, i);
+      } catch (...) {
+        // A throwing task must not kill a worker thread or break the
+        // barrier; remember the first exception for run() to rethrow and
+        // keep draining.
+        std::lock_guard lock(mutex_);
+        if (!batch_error_) batch_error_ = std::current_exception();
+      }
     }
-    {
-      std::lock_guard lock(mutex_);
-      if (++completed_ == num_tasks_) done_cv_.notify_all();
+    const std::size_t done = end - begin;
+    if (completed_.fetch_add(done, std::memory_order_acq_rel) + done ==
+        batch.num_tasks) {
+      // Final chunk of the batch: one wakeup for the caller.  The empty
+      // critical section serializes with the caller's predicate check so
+      // the notify cannot slip between its check and its sleep.
+      { std::lock_guard lock(mutex_); }
+      done_cv_.notify_one();
+      return;
     }
+    cur = claim_.load(std::memory_order_relaxed);
   }
 }
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    Batch batch;
     {
       std::unique_lock lock(mutex_);
       work_cv_.wait(lock,
                     [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
+      batch = batch_;  // copied under the lock: never torn
     }
-    drain_batch();
+    drain(batch);
   }
 }
 

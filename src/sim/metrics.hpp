@@ -67,6 +67,18 @@ struct Metrics {
 
   friend bool operator==(const Metrics&, const Metrics&) = default;
 
+  // Zeroes every counter but keeps size_counts' capacity, unlike assigning
+  // Metrics{} — the engine resets shard-local accumulators every parallel
+  // section, and steady-state rounds must not reallocate the table.
+  void reset() {
+    rounds = 0;
+    messages = 0;
+    message_bits = 0;
+    max_message_bits = 0;
+    failed_operations = 0;
+    size_counts.clear();
+  }
+
   void record_message(std::uint64_t bits) { record_messages(1, bits); }
 
   // Bulk update: `count` messages of `bits` bits each, O(#distinct sizes)

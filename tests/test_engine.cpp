@@ -68,6 +68,64 @@ TEST(ThreadPool, PropagatesTaskExceptionsAndStaysUsable) {
   }
 }
 
+// Many more tasks than threads: the chunked claim loop must still execute
+// every index exactly once, across batches of wildly different sizes
+// (descriptor reuse between batches is where a stale-claim bug would bite).
+TEST(ThreadPool, ChunkedClaimingCoversManyTasks) {
+  for (unsigned threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kTasks = 100000;
+    std::vector<std::atomic<std::uint8_t>> hits(kTasks);
+    for (const std::size_t batch : {std::size_t{1}, kTasks, std::size_t{3},
+                                    std::size_t{kTasks / 7}}) {
+      for (auto& h : hits) h.store(0);
+      pool.run(batch, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        ASSERT_EQ(hits[i].load(), i < batch ? 1 : 0)
+            << "threads=" << threads << " batch=" << batch << " i=" << i;
+      }
+    }
+  }
+}
+
+// Single-task batches exercise the opposite edge: one chunk, claimed by
+// whichever thread gets there first, everyone else must pass through the
+// barrier without touching anything.
+TEST(ThreadPool, SingleTaskBatches) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  for (int rep = 0; rep < 200; ++rep) {
+    pool.run(1, [&](std::size_t i) {
+      EXPECT_EQ(i, 0u);
+      ++ran;
+    });
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+// Exceptions under contention: several tasks of a large batch throw
+// concurrently; exactly one exception must surface per run() and the pool
+// must stay usable across many such batches.
+TEST(ThreadPool, ExceptionStressUnderContention) {
+  ThreadPool pool(8);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<int> attempted{0};
+    try {
+      pool.run(5000, [&](std::size_t i) {
+        ++attempted;
+        if (i % 701 == 0) throw std::runtime_error("sporadic");
+      });
+      FAIL() << "batch with throwing tasks must rethrow";
+    } catch (const std::runtime_error&) {
+      // The barrier still holds: every index ran before run() returned.
+      EXPECT_EQ(attempted.load(), 5000) << "rep=" << rep;
+    }
+  }
+  std::atomic<int> ran{0};
+  pool.run(1000, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 1000);
+}
+
 TEST(Engine, RejectsInvalidConfigurations) {
   EXPECT_THROW(Engine(1, 7), std::invalid_argument);
   EXPECT_THROW(Engine(16, 7, FailureModel{},
@@ -595,6 +653,85 @@ TEST(EnginePipelines, RejectFailureModels) {
                std::invalid_argument);
   EXPECT_THROW((void)own_rank(engine, values, OwnRankParams{}),
                std::invalid_argument);
+}
+
+// Back-to-back pipelines on one Engine reuse the scatter arena, the pooled
+// push-sum scratch, and the token store across calls; the reuse must be
+// invisible — the second run must stay bit-identical to the second run of
+// the same sequence on a sequential Network, at every thread count.
+TEST(EnginePipelines, BackToBackRunsReuseArenaBitIdentically) {
+  constexpr std::uint32_t kN = 2048;
+  constexpr std::uint64_t kSeed = 431;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 43);
+
+  ApproxQuantileParams ap;
+  ap.phi = 0.3;
+  ap.eps = 0.2;
+  ExactQuantileParams ep;
+  ep.phi = 0.62;
+  ep.strategy = ExactStrategy::kPreferDuplication;
+
+  Network net(kN, kSeed);
+  const ApproxQuantileResult seq_a1 = approx_quantile(net, values, ap);
+  const ExactQuantileResult seq_e1 = exact_quantile(net, values, ep);
+  const ApproxQuantileResult seq_a2 = approx_quantile(net, values, ap);
+  const ExactQuantileResult seq_e2 = exact_quantile(net, values, ep);
+
+  for (unsigned threads : kThreadCounts) {
+    Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
+    const std::uint64_t grows_before = engine.scatter_arena().grow_events();
+    const ApproxQuantileResult a1 = approx_quantile(engine, values, ap);
+    const ExactQuantileResult e1 = exact_quantile(engine, values, ep);
+    const std::uint64_t grows_warm = engine.scatter_arena().grow_events();
+    const ApproxQuantileResult a2 = approx_quantile(engine, values, ap);
+    const ExactQuantileResult e2 = exact_quantile(engine, values, ep);
+
+    EXPECT_EQ(a1.outputs, seq_a1.outputs) << "threads=" << threads;
+    EXPECT_EQ(e1.outputs, seq_e1.outputs) << "threads=" << threads;
+    EXPECT_EQ(a2.outputs, seq_a2.outputs) << "threads=" << threads;
+    EXPECT_EQ(a2.rounds, seq_a2.rounds);
+    EXPECT_EQ(e2.outputs, seq_e2.outputs) << "threads=" << threads;
+    EXPECT_EQ(e2.answer, seq_e2.answer);
+    EXPECT_EQ(e2.rounds, seq_e2.rounds);
+    EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
+    // The first pair of runs warms the arena; reuse means the second pair
+    // grows mailboxes far less (the randomness differs between runs, so a
+    // handful of boxes may still see a new high-water mark).
+    EXPECT_GT(grows_warm, grows_before);
+    EXPECT_LE(engine.scatter_arena().grow_events() - grows_warm,
+              (grows_warm - grows_before) / 4)
+        << "threads=" << threads;
+  }
+}
+
+// A Scatter constructed while another holds the engine's arena must fall
+// back to private mailboxes and still deliver correctly.
+TEST(Scatter, NestedScatterFallsBackToPrivateStorage) {
+  constexpr std::uint32_t kN = 512;
+  Engine engine(kN, 9, FailureModel{},
+                EngineConfig{.threads = 2, .shard_size = 64});
+  Scatter<std::uint64_t> outer(engine);
+  Scatter<std::uint64_t> inner(engine);  // arena busy: private boxes
+  outer.begin_round();
+  inner.begin_round();
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          outer.send(v, (v + 1) % kN, v);
+          inner.send(v, (v + 2) % kN, v + 1000);
+        }
+      });
+  std::vector<std::uint64_t> from_outer(kN, 0), from_inner(kN, 0);
+  outer.deliver(engine, [&](std::uint32_t dest, std::uint64_t payload) {
+    from_outer[dest] = payload;
+  });
+  inner.deliver(engine, [&](std::uint32_t dest, std::uint64_t payload) {
+    from_inner[dest] = payload;
+  });
+  for (std::uint32_t v = 0; v < kN; ++v) {
+    EXPECT_EQ(from_outer[(v + 1) % kN], v);
+    EXPECT_EQ(from_inner[(v + 2) % kN], v + 1000);
+  }
 }
 
 // Thread count and shard size are pure performance knobs: sweeping both

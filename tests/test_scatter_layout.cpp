@@ -1,0 +1,104 @@
+// ScatterLayout geometry boundary cases.  The layout is a pure function of
+// (n, shard_size): these tests pin the edges — n close to UINT32_MAX (the
+// arithmetic must not wrap 32 bits), the kMaxPartitions cap, and shard
+// sizes that do not divide n — via the engine-free for_geometry factory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "engine/scatter.hpp"
+
+namespace gq {
+namespace {
+
+// Number of sender shards for a given geometry, as Engine computes it.
+std::size_t rows_for(std::uint32_t n, std::uint32_t shard_size) {
+  return (static_cast<std::size_t>(n) + shard_size - 1) / shard_size;
+}
+
+// Partitions must tile [0, n) contiguously, and partition_of must agree
+// with the ranges.
+void expect_tiles(const ScatterLayout& layout) {
+  std::uint32_t expected_first = 0;
+  for (std::size_t p = 0; p < layout.partitions; ++p) {
+    const auto [first, last] = layout.partition_range(p);
+    EXPECT_EQ(first, expected_first) << "partition " << p;
+    EXPECT_LT(first, last) << "partition " << p << " must be non-empty";
+    EXPECT_EQ(layout.partition_of(first), p);
+    EXPECT_EQ(layout.partition_of(last - 1), p);
+    expected_first = last;
+  }
+  EXPECT_EQ(expected_first, layout.n) << "partitions must cover [0, n)";
+}
+
+TEST(ScatterLayout, NearUint32MaxDoesNotWrap) {
+  const std::uint32_t n = std::numeric_limits<std::uint32_t>::max();
+  const std::uint32_t shard_size = 1u << 30;
+  const ScatterLayout layout =
+      ScatterLayout::for_geometry(n, shard_size, rows_for(n, shard_size));
+  EXPECT_EQ(layout.rows, 4u);
+  // ceil(n / kMaxPartitions) = 2^26 exactly; all 64 partitions survive.
+  EXPECT_EQ(layout.partition_shift, 26u);
+  EXPECT_EQ(layout.partitions, ScatterLayout::kMaxPartitions);
+  expect_tiles(layout);
+  // The last partition's range must clamp to n, not wrap past zero.
+  const auto [first, last] = layout.partition_range(layout.partitions - 1);
+  EXPECT_LT(first, last);
+  EXPECT_EQ(last, n);
+  EXPECT_EQ(layout.partition_of(n - 1), layout.partitions - 1);
+}
+
+TEST(ScatterLayout, CapsPartitionsAtKMaxPartitions) {
+  const std::uint32_t n = 1u << 20;
+  const std::uint32_t shard_size = 1024;  // 1024 rows >> kMaxPartitions
+  const ScatterLayout layout =
+      ScatterLayout::for_geometry(n, shard_size, rows_for(n, shard_size));
+  EXPECT_EQ(layout.rows, 1024u);
+  EXPECT_EQ(layout.partitions, ScatterLayout::kMaxPartitions);
+  EXPECT_EQ(layout.partition_shift, 14u);  // ceil(2^20 / 64) = 2^14
+  expect_tiles(layout);
+}
+
+TEST(ScatterLayout, NonDividingShardSize) {
+  const std::uint32_t n = 1000;
+  const std::uint32_t shard_size = 192;  // 6 shards, last one ragged
+  const ScatterLayout layout =
+      ScatterLayout::for_geometry(n, shard_size, rows_for(n, shard_size));
+  EXPECT_EQ(layout.rows, 6u);
+  expect_tiles(layout);
+  // Senders of the ragged final shard must land in the final row.
+  EXPECT_EQ(layout.row_of(n - 1), layout.rows - 1);
+  EXPECT_EQ(layout.row_of(5 * 192), 5u);
+}
+
+// Below the minimum partition width everything collapses into a single
+// delivery partition covering [0, n) — never zero, never empty.
+TEST(ScatterLayout, SmallNCollapsesToOnePartition) {
+  const std::uint32_t n = 65;
+  const std::uint32_t shard_size = 1;  // extreme: one sender per row
+  const ScatterLayout layout =
+      ScatterLayout::for_geometry(n, shard_size, rows_for(n, shard_size));
+  EXPECT_EQ(layout.rows, 65u);
+  EXPECT_EQ(layout.partition_shift, ScatterLayout::kMinPartitionShift);
+  EXPECT_EQ(layout.partitions, 1u);
+  expect_tiles(layout);
+}
+
+// Width rounding leaves a one-node tail partition at n = 2 * 4096 + 1; the
+// trim must keep it (it holds node 8192) and nothing past it.
+TEST(ScatterLayout, SingleNodeTailPartition) {
+  const std::uint32_t n = 8193;
+  const std::uint32_t shard_size = 4096;
+  const ScatterLayout layout =
+      ScatterLayout::for_geometry(n, shard_size, rows_for(n, shard_size));
+  EXPECT_EQ(layout.rows, 3u);
+  EXPECT_EQ(layout.partitions, 3u);
+  expect_tiles(layout);
+  const auto [first, last] = layout.partition_range(layout.partitions - 1);
+  EXPECT_EQ(first, 8192u);
+  EXPECT_EQ(last - first, 1u);
+}
+
+}  // namespace
+}  // namespace gq
