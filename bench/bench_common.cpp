@@ -10,6 +10,17 @@
 
 namespace gq::bench {
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double mnrs(std::uint64_t nodes, std::uint64_t rounds, double seconds) {
+  return static_cast<double>(nodes) * static_cast<double>(rounds) / seconds /
+         1e6;
+}
+
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

@@ -4,11 +4,21 @@
 // the perf trajectory survives in BENCH_engine.json instead of scrollback.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace gq::bench {
+
+// Wall-clock seconds elapsed since `start`.
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point start);
+
+// Million node-rounds per second: one normalisation for every scale bench,
+// with rounds taken from the run itself so sequential and engine rows of
+// one table are normalised identically.
+[[nodiscard]] double mnrs(std::uint64_t nodes, std::uint64_t rounds,
+                          double seconds);
 
 // Markdown table with left-aligned first column and right-aligned rest.
 class Table {

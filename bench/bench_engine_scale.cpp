@@ -33,17 +33,6 @@ namespace {
 
 constexpr unsigned kThreadSweep[] = {1, 2, 4, 8};
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-// Million node-rounds per second.
-double mnrs(std::uint64_t nodes, std::uint64_t rounds, double secs) {
-  return static_cast<double>(nodes) * static_cast<double>(rounds) / secs / 1e6;
-}
-
 bench::JsonArtifact& artifact() {
   static bench::JsonArtifact a("bench_engine_scale");
   return a;
@@ -55,9 +44,9 @@ void pull_round_table(std::uint32_t n, std::uint64_t rounds) {
   Network net(n, 99);
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t r = 0; r < rounds; ++r) (void)net.pull_round(32);
-  const double seq_secs = seconds_since(t0);
+  const double seq_secs = bench::seconds_since(t0);
   table.add_row({"Network (sequential)", "1", bench::fmt_u(rounds),
-                 bench::fmt(mnrs(n, rounds, seq_secs)), "1.00"});
+                 bench::fmt(bench::mnrs(n, rounds, seq_secs)), "1.00"});
   artifact().add("pull_round", "network", n, 1, rounds, seq_secs, seq_secs);
 
   std::vector<std::uint32_t> peers(n);
@@ -65,9 +54,9 @@ void pull_round_table(std::uint32_t n, std::uint64_t rounds) {
     Engine engine(n, 99, FailureModel{}, EngineConfig{.threads = threads});
     const auto t1 = std::chrono::steady_clock::now();
     for (std::uint64_t r = 0; r < rounds; ++r) engine.pull_round(32, peers);
-    const double secs = seconds_since(t1);
+    const double secs = bench::seconds_since(t1);
     table.add_row({"Engine pull_round", std::to_string(threads),
-                   bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
+                   bench::fmt_u(rounds), bench::fmt(bench::mnrs(n, rounds, secs)),
                    bench::fmt(seq_secs / secs)});
     artifact().add("pull_round", "engine", n, threads, rounds, secs, seq_secs);
   }
@@ -93,9 +82,9 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
     }
     const auto t0 = std::chrono::steady_clock::now();
     (void)run_protocols(net, protos, rounds, bits);
-    seq_secs = seconds_since(t0);
+    seq_secs = bench::seconds_since(t0);
     table.add_row({"runtime (sequential)", "1", bench::fmt_u(rounds),
-                   bench::fmt(mnrs(n, rounds, seq_secs)), "1.00"});
+                   bench::fmt(bench::mnrs(n, rounds, seq_secs)), "1.00"});
     artifact().add("median_dynamics", "network", n, 1, rounds, seq_secs, seq_secs);
   }
 
@@ -108,9 +97,9 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
     }
     const auto t0 = std::chrono::steady_clock::now();
     (void)run_protocols(engine, protos, rounds, bits);
-    const double secs = seconds_since(t0);
+    const double secs = bench::seconds_since(t0);
     table.add_row({"engine adapter", std::to_string(threads),
-                   bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
+                   bench::fmt_u(rounds), bench::fmt(bench::mnrs(n, rounds, secs)),
                    bench::fmt(seq_secs / secs)});
     artifact().add("median_dynamics_adapter", "engine", n, threads, rounds, secs,
            seq_secs);
@@ -121,9 +110,9 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
     std::vector<Key> state(keys.begin(), keys.end());
     const auto t0 = std::chrono::steady_clock::now();
     (void)median_dynamics(engine, state, iterations, rounds, bits);
-    const double secs = seconds_since(t0);
+    const double secs = bench::seconds_since(t0);
     table.add_row({"engine batched kernel", std::to_string(threads),
-                   bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
+                   bench::fmt_u(rounds), bench::fmt(bench::mnrs(n, rounds, secs)),
                    bench::fmt(seq_secs / secs)});
     artifact().add("median_dynamics_kernel", "engine", n, threads, rounds, secs,
            seq_secs);
@@ -145,10 +134,10 @@ void kernel_only_table(std::uint32_t n, std::uint64_t iterations) {
     std::vector<Key> state(keys.begin(), keys.end());
     const auto t0 = std::chrono::steady_clock::now();
     (void)median_dynamics(engine, state, iterations, rounds, bits);
-    const double secs = seconds_since(t0);
+    const double secs = bench::seconds_since(t0);
     if (threads == 1) base_secs = secs;
     table.add_row({"engine batched kernel", std::to_string(threads),
-                   bench::fmt_u(rounds), bench::fmt(mnrs(n, rounds, secs)),
+                   bench::fmt_u(rounds), bench::fmt(bench::mnrs(n, rounds, secs)),
                    bench::fmt(base_secs / secs)});
     // No sequential twin in this sweep (the table normalises against the
     // 1-thread engine run); per the PerfRecord contract seq_seconds is 0.

@@ -28,18 +28,6 @@ namespace {
 
 constexpr unsigned kThreadSweep[] = {1, 2, 4, 8};
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-// Million node-rounds per second: rounds are taken from the run itself so
-// sequential and engine rows are normalised identically.
-double mnrs(std::uint64_t nodes, std::uint64_t rounds, double secs) {
-  return static_cast<double>(nodes) * static_cast<double>(rounds) / secs / 1e6;
-}
-
 bench::JsonArtifact& artifact() {
   static bench::JsonArtifact a("bench_pipeline_scale");
   return a;
@@ -59,19 +47,19 @@ void approx_table(std::uint32_t n) {
     Network net(n, 1234);
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = approx_quantile(net, values, params);
-    seq_secs = seconds_since(t0);
+    seq_secs = bench::seconds_since(t0);
     rounds = r.rounds;
     table.add_row({"Network (sequential)", "1", bench::fmt_u(rounds),
-                   bench::fmt(mnrs(n, rounds, seq_secs)), "1.00"});
+                   bench::fmt(bench::mnrs(n, rounds, seq_secs)), "1.00"});
     artifact().add("approx_quantile", "network", n, 1, rounds, seq_secs, seq_secs);
   }
   for (unsigned threads : kThreadSweep) {
     Engine engine(n, 1234, FailureModel{}, EngineConfig{.threads = threads});
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = approx_quantile(engine, values, params);
-    const double secs = seconds_since(t0);
+    const double secs = bench::seconds_since(t0);
     table.add_row({"Engine pipeline", std::to_string(threads),
-                   bench::fmt_u(r.rounds), bench::fmt(mnrs(n, r.rounds, secs)),
+                   bench::fmt_u(r.rounds), bench::fmt(bench::mnrs(n, r.rounds, secs)),
                    bench::fmt(seq_secs / secs)});
     artifact().add("approx_quantile", "engine", n, threads, r.rounds, secs, seq_secs);
   }
@@ -90,18 +78,18 @@ void exact_table(std::uint32_t n) {
     Network net(n, 4321);
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = exact_quantile(net, values, params);
-    seq_secs = seconds_since(t0);
+    seq_secs = bench::seconds_since(t0);
     table.add_row({"Network (sequential)", "1", bench::fmt_u(r.rounds),
-                   bench::fmt(mnrs(n, r.rounds, seq_secs)), "1.00"});
+                   bench::fmt(bench::mnrs(n, r.rounds, seq_secs)), "1.00"});
     artifact().add("exact_quantile", "network", n, 1, r.rounds, seq_secs, seq_secs);
   }
   for (unsigned threads : kThreadSweep) {
     Engine engine(n, 4321, FailureModel{}, EngineConfig{.threads = threads});
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = exact_quantile(engine, values, params);
-    const double secs = seconds_since(t0);
+    const double secs = bench::seconds_since(t0);
     table.add_row({"Engine pipeline", std::to_string(threads),
-                   bench::fmt_u(r.rounds), bench::fmt(mnrs(n, r.rounds, secs)),
+                   bench::fmt_u(r.rounds), bench::fmt(bench::mnrs(n, r.rounds, secs)),
                    bench::fmt(seq_secs / secs)});
     artifact().add("exact_quantile", "engine", n, threads, r.rounds, secs, seq_secs);
   }

@@ -1,0 +1,126 @@
+// E-ROBUST — the Section-5 failure-model pipelines on the engine at scale.
+//
+// PR 2 put the failure-free quantile pipelines on the engine; this bench
+// measures the robust variants end-to-end — approx_quantile under a
+// FailureModel (k-fold fan-out tournaments + the Theorem-1.4 coverage
+// tail) — at n = 10^5 … 10^7 with mu and thread sweeps.  The n = 10^7
+// rows are the adversarial-scale sweep the sequential path cannot reach:
+// its per-iteration n x k sample matrix and per-round snapshot copies are
+// replaced by the engine's pooled ping-pong state, so the largest size
+// runs engine-only (no sequential reference; seq_seconds = 0 in the
+// artifact records).
+//
+// Every engine configuration computes bit-identical results, round counts,
+// and Metrics to the sequential path (pinned by tests/test_engine_robust.cpp),
+// so the tables are pure throughput comparisons.  GQ_BENCH_FAST=1 skips the
+// 10^7 sweep; GQ_BENCH_SMOKE=1 shrinks everything to CI-smoke scale.
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/approx_quantile.hpp"
+#include "engine/engine.hpp"
+#include "engine/pipelines.hpp"
+#include "sim/network.hpp"
+#include "workload/distributions.hpp"
+
+namespace gq {
+namespace {
+
+constexpr unsigned kThreadSweep[] = {1, 2, 4, 8};
+// The 10^7 rows repeat hundreds of fan-out rounds; sweep the endpoints.
+constexpr unsigned kThreadSweepLarge[] = {1, 8};
+
+bench::JsonArtifact& artifact() {
+  static bench::JsonArtifact a("bench_robust_scale");
+  return a;
+}
+
+void robust_approx_table(std::uint32_t n, double mu, bool with_sequential,
+                         std::span<const unsigned> threads_sweep) {
+  const auto values = generate_values(Distribution::kUniformReal, n, 191);
+  const FailureModel fm = FailureModel::uniform(mu);
+  ApproxQuantileParams params;
+  params.phi = 0.5;
+  params.eps = 0.1;
+  params.robust_coverage_rounds = 14;
+
+  // mu is part of the measured configuration, so it must be part of the
+  // record key (bench_diff keys on (bench, pipeline, executor, n, threads));
+  // folding it into the pipeline name keeps the schema unchanged.
+  const std::string pipeline =
+      "robust_approx_quantile_mu" +
+      std::to_string(static_cast<int>(mu * 100 + 0.5));
+
+  bench::Table table({"executor", "threads", "rounds", "served",
+                      "Mnode-rounds/s", "speedup"});
+  double seq_secs = 0.0;
+  if (with_sequential) {
+    Network net(n, 1789, fm);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = approx_quantile(net, values, params);
+    seq_secs = bench::seconds_since(t0);
+    table.add_row({"Network (sequential)", "1", bench::fmt_u(r.rounds),
+                   bench::fmt_pct(static_cast<double>(r.served_nodes()) / n),
+                   bench::fmt(bench::mnrs(n, r.rounds, seq_secs)), "1.00"});
+    artifact().add(pipeline.c_str(), "network", n, 1, r.rounds, seq_secs,
+                   seq_secs);
+  }
+  for (unsigned threads : threads_sweep) {
+    Engine engine(n, 1789, fm, EngineConfig{.threads = threads});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = approx_quantile(engine, values, params);
+    const double secs = bench::seconds_since(t0);
+    table.add_row({"Engine pipeline", std::to_string(threads),
+                   bench::fmt_u(r.rounds),
+                   bench::fmt_pct(static_cast<double>(r.served_nodes()) / n),
+                   bench::fmt(bench::mnrs(n, r.rounds, secs)),
+                   seq_secs > 0.0 ? bench::fmt(seq_secs / secs) : "-"});
+    artifact().add(pipeline.c_str(), "engine", n, threads, r.rounds, secs,
+                   seq_secs);
+  }
+  table.print();
+}
+
+void run() {
+  bench::print_header(
+      "E-ROBUST", "failure-model pipelines on the engine at scale",
+      "Theorem 1.4 at engineering scale: the robust tournaments and the "
+      "coverage tail run end-to-end on the sharded engine, bit-identical "
+      "to the sequential path, unlocking adversarial sweeps at n = 10^7");
+  std::printf("hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const std::uint32_t k100k = bench::smoke_capped(100000);
+  for (const double mu : {0.1, 0.3, 0.5}) {
+    std::printf("## robust approx_quantile (phi=0.5, eps=0.1, mu=%.1f), "
+                "n = %u\n\n",
+                mu, k100k);
+    robust_approx_table(k100k, mu, /*with_sequential=*/true, kThreadSweep);
+    std::printf("\n");
+  }
+
+  if (!bench::smoke_mode()) {
+    std::printf("## robust approx_quantile (phi=0.5, eps=0.1, mu=0.3), "
+                "n = 10^6\n\n");
+    robust_approx_table(1000000, 0.3, /*with_sequential=*/true, kThreadSweep);
+    if (!bench::fast_mode()) {
+      std::printf("\n## robust approx_quantile (phi=0.5, eps=0.1, mu=0.3), "
+                  "n = 10^7 (adversarial scale, engine-only)\n\n");
+      robust_approx_table(10000000, 0.3, /*with_sequential=*/false,
+                          kThreadSweepLarge);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gq
+
+int main() {
+  gq::run();
+  return 0;
+}

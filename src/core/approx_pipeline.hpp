@@ -1,0 +1,97 @@
+// The executor-independent control flow of the approximate quantile
+// pipeline (Theorems 1.2 / 2.1, plus the Section-5 robust route).
+//
+// Same rationale as core/exact_pipeline.hpp and core/robust_pipeline.hpp:
+// the eps-floor fallback decision, the Lemma-2.11 phase2_eps choice, the
+// failure-free vs robust routing, and the coverage call are all observable
+// in outputs, round counts, and Metrics, so the sequential Network path and
+// the parallel Engine must execute ONE copy of this logic.  The Ops
+// provider supplies the executor-bound phases:
+//
+//   uint32_t size();
+//   const Metrics& metrics();
+//   bool never_fails();
+//   ExactQuantileResult exact(span<const Key>, const ExactQuantileParams&);
+//   TwoTournamentOutcome   two(vector<Key>& state, phi, eps, truncate_last);
+//   ThreeTournamentOutcome three(vector<Key>& state, eps, k);
+//   RobustTwoTournamentOutcome   robust_two(state, good, phi, eps,
+//                                           truncate_last);
+//   RobustThreeTournamentOutcome robust_three(state, good, eps, k);
+//   uint64_t coverage(outputs, valid, t);
+//
+// Instantiated by core/approx_quantile.cpp (Network) and
+// engine/pipelines.cpp (Engine); bit-identity of the two is pinned by
+// tests/test_engine.cpp and tests/test_engine_robust.cpp.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "analysis/theory_bounds.hpp"
+#include "core/params.hpp"
+#include "core/result.hpp"
+#include "sim/key.hpp"
+#include "sim/metrics.hpp"
+#include "util/require.hpp"
+
+namespace gq::approx_detail {
+
+template <typename Ops>
+ApproxQuantileResult approx_quantile_keys_impl(
+    Ops& ops, std::span<const Key> keys, const ApproxQuantileParams& params) {
+  const std::uint32_t n = ops.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
+  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
+             "eps must lie in (0, 1/2)");
+
+  const Metrics before = ops.metrics();
+
+  if (params.eps < eps_tournament_floor(n) && !params.force_tournament) {
+    // Theorem 1.2 bootstrap: for eps below the sampling floor the exact
+    // algorithm is both correct and within the advertised round bound.
+    ExactQuantileParams ep;
+    ep.phi = params.phi;
+    const ExactQuantileResult er = ops.exact(keys, ep);
+    ApproxQuantileResult out;
+    out.outputs = er.outputs;
+    out.valid = er.valid;
+    out.rounds = ops.metrics().rounds - before.rounds;
+    out.used_exact_fallback = true;
+    return out;
+  }
+
+  ApproxQuantileResult out;
+  std::vector<Key> state(keys.begin(), keys.end());
+  // Phase II approximates the median of the Phase-I configuration to eps/4:
+  // by Lemma 2.11 every quantile in [1/2 - eps/4, 1/2 + eps/4] of that
+  // configuration lies in the original [phi - eps, phi + eps] window.
+  const double phase2_eps = params.eps / 4.0;
+
+  if (ops.never_fails()) {
+    const auto p1 =
+        ops.two(state, params.phi, params.eps, params.truncate_last);
+    const auto p2 = ops.three(state, phase2_eps, params.final_sample_size);
+    out.phase1_iterations = p1.iterations;
+    out.phase2_iterations = p2.iterations;
+    out.outputs = p2.outputs;
+    out.valid.assign(n, true);
+  } else {
+    std::vector<bool> good(n, true);
+    const auto p1 = ops.robust_two(state, good, params.phi, params.eps,
+                                   params.truncate_last);
+    auto p2 =
+        ops.robust_three(state, good, phase2_eps, params.final_sample_size);
+    out.phase1_iterations = p1.iterations;
+    out.phase2_iterations = p2.iterations;
+    ops.coverage(p2.outputs, p2.valid, params.robust_coverage_rounds);
+    out.outputs = std::move(p2.outputs);
+    out.valid = std::move(p2.valid);
+  }
+
+  out.rounds = ops.metrics().rounds - before.rounds;
+  return out;
+}
+
+}  // namespace gq::approx_detail

@@ -1,75 +1,64 @@
 #include "core/approx_quantile.hpp"
 
-#include <algorithm>
-
-#include "analysis/theory_bounds.hpp"
+#include "core/approx_pipeline.hpp"
 #include "core/exact_quantile.hpp"
 #include "core/robust.hpp"
 #include "core/three_tournament.hpp"
 #include "core/two_tournament.hpp"
-#include "util/require.hpp"
 #include "workload/tiebreak.hpp"
 
 namespace gq {
+namespace {
+
+// The sequential instantiation of the shared approximate-pipeline control
+// flow in core/approx_pipeline.hpp; the engine twin lives in
+// engine/pipelines.cpp (bit-identity pinned by tests/test_engine.cpp and
+// tests/test_engine_robust.cpp).
+struct NetworkApproxOps {
+  Network& net;
+
+  [[nodiscard]] std::uint32_t size() const { return net.size(); }
+  [[nodiscard]] const Metrics& metrics() const { return net.metrics(); }
+  [[nodiscard]] bool never_fails() const {
+    return net.failures().never_fails();
+  }
+
+  ExactQuantileResult exact(std::span<const Key> keys,
+                            const ExactQuantileParams& params) {
+    return exact_quantile_keys(net, keys, params);
+  }
+  TwoTournamentOutcome two(std::vector<Key>& state, double phi, double eps,
+                           bool truncate_last) {
+    return two_tournament(net, state, phi, eps, truncate_last);
+  }
+  ThreeTournamentOutcome three(std::vector<Key>& state, double eps,
+                               std::uint32_t final_sample_size) {
+    return three_tournament(net, state, eps, final_sample_size);
+  }
+  RobustTwoTournamentOutcome robust_two(std::vector<Key>& state,
+                                        std::vector<bool>& good, double phi,
+                                        double eps, bool truncate_last) {
+    return robust_two_tournament(net, state, good, phi, eps, truncate_last);
+  }
+  RobustThreeTournamentOutcome robust_three(std::vector<Key>& state,
+                                            std::vector<bool>& good,
+                                            double eps,
+                                            std::uint32_t final_sample_size) {
+    return robust_three_tournament(net, state, good, eps, final_sample_size);
+  }
+  std::uint64_t coverage(std::vector<Key>& outputs, std::vector<bool>& valid,
+                         std::uint32_t t) {
+    return robust_coverage(net, outputs, valid, t);
+  }
+};
+
+}  // namespace
 
 ApproxQuantileResult approx_quantile_keys(Network& net,
                                           std::span<const Key> keys,
                                           const ApproxQuantileParams& params) {
-  const std::uint32_t n = net.size();
-  GQ_REQUIRE(keys.size() == n, "one key per node required");
-  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
-  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
-             "eps must lie in (0, 1/2)");
-
-  const Metrics before = net.metrics();
-
-  if (params.eps < eps_tournament_floor(n) && !params.force_tournament) {
-    // Theorem 1.2 bootstrap: for eps below the sampling floor the exact
-    // algorithm is both correct and within the advertised round bound.
-    ExactQuantileParams ep;
-    ep.phi = params.phi;
-    const ExactQuantileResult er = exact_quantile_keys(net, keys, ep);
-    ApproxQuantileResult out;
-    out.outputs = er.outputs;
-    out.valid = er.valid;
-    out.rounds = net.metrics().rounds - before.rounds;
-    out.used_exact_fallback = true;
-    return out;
-  }
-
-  ApproxQuantileResult out;
-  std::vector<Key> state(keys.begin(), keys.end());
-  // Phase II approximates the median of the Phase-I configuration to eps/4:
-  // by Lemma 2.11 every quantile in [1/2 - eps/4, 1/2 + eps/4] of that
-  // configuration lies in the original [phi - eps, phi + eps] window.
-  const double phase2_eps = params.eps / 4.0;
-
-  if (net.failures().never_fails()) {
-    const TwoTournamentOutcome p1 =
-        two_tournament(net, state, params.phi, params.eps,
-                       params.truncate_last);
-    const ThreeTournamentOutcome p2 = three_tournament(
-        net, state, phase2_eps, params.final_sample_size);
-    out.phase1_iterations = p1.iterations;
-    out.phase2_iterations = p2.iterations;
-    out.outputs = p2.outputs;
-    out.valid.assign(n, true);
-  } else {
-    std::vector<bool> good(n, true);
-    const RobustTwoTournamentOutcome p1 = robust_two_tournament(
-        net, state, good, params.phi, params.eps, params.truncate_last);
-    RobustThreeTournamentOutcome p2 = robust_three_tournament(
-        net, state, good, phase2_eps, params.final_sample_size);
-    out.phase1_iterations = p1.iterations;
-    out.phase2_iterations = p2.iterations;
-    robust_coverage(net, p2.outputs, p2.valid,
-                    params.robust_coverage_rounds);
-    out.outputs = std::move(p2.outputs);
-    out.valid = std::move(p2.valid);
-  }
-
-  out.rounds = net.metrics().rounds - before.rounds;
-  return out;
+  NetworkApproxOps ops{net};
+  return approx_detail::approx_quantile_keys_impl(ops, keys, params);
 }
 
 ApproxQuantileResult approx_quantile(Network& net,

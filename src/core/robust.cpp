@@ -1,85 +1,68 @@
 #include "core/robust.hpp"
 
 #include <algorithm>
-#include <array>
 
-#include "analysis/recurrences.hpp"
-#include "analysis/theory_bounds.hpp"
+#include "core/robust_pipeline.hpp"
 #include "util/require.hpp"
 
 namespace gq {
 namespace {
 
-const Key& median3(const Key& a, const Key& b, const Key& c) {
-  if (a < b) {
-    if (b < c) return b;
-    return a < c ? c : a;
-  }
-  if (a < c) return a;
-  return b < c ? c : b;
-}
+// The sequential instantiation of the shared robust control flow in
+// core/robust_pipeline.hpp: per-round node loops over the Network
+// primitives.  engine/kernels.cpp provides the batched twin; the two must
+// stay bit-identical (pinned by tests/test_engine_robust.cpp).
+struct NetworkRobustOps {
+  Network& net;
+  std::vector<Key>& state;
+  std::vector<bool>& good;
 
-// One robust iteration: `pulls` rounds in which every node attempts one
-// pull; good_samples[v] collects up to `needed` values pulled from
-// currently-good nodes (reading the iteration-start snapshot).
-// Returns, per node, the number of good pulls collected (capped at needed).
-std::vector<std::uint32_t> collect_good_pulls(
-    Network& net, std::span<const Key> snapshot,
-    const std::vector<bool>& good, std::uint32_t pulls, std::uint32_t needed,
-    std::vector<std::vector<Key>>& good_samples) {
-  const std::uint32_t n = net.size();
-  const std::uint64_t bits = key_bits(n);
-  for (auto& s : good_samples) s.clear();
-  std::vector<std::uint32_t> count(n, 0);
-  for (std::uint32_t r = 0; r < pulls; ++r) {
-    net.begin_round();
-    for (std::uint32_t v = 0; v < n; ++v) {
-      if (net.node_fails(v)) {
-        net.record_failed_operation();
-        continue;
-      }
-      SplitMix64 stream = net.node_stream(v);
-      const std::uint32_t p = net.sample_peer(v, stream);
-      net.record_message(bits);
-      if (good[p] && count[v] < needed) {
-        good_samples[v].push_back(snapshot[p]);
-        ++count[v];
+  // Iteration-local working state, sized once per call.
+  std::vector<Key> snapshot;
+  std::vector<bool> next_good;
+  std::vector<std::vector<Key>> samples;
+  std::vector<std::uint32_t> got;
+
+  NetworkRobustOps(Network& n, std::vector<Key>& s, std::vector<bool>& g)
+      : net(n), state(s), good(g), snapshot(n.size()),
+        next_good(n.size()), samples(n.size()) {}
+
+  [[nodiscard]] std::uint32_t size() const { return net.size(); }
+  [[nodiscard]] double max_failure_probability() const {
+    return net.failures().max_probability();
+  }
+
+  // `pulls` rounds in which every node attempts one pull; samples[v]
+  // collects up to `needed` values pulled from currently-good nodes
+  // (reading the iteration-start snapshot); got[v] is the number of good
+  // pulls collected (capped at needed).
+  void collect_good_pulls(std::uint32_t pulls, std::uint32_t needed) {
+    const std::uint32_t n = net.size();
+    const std::uint64_t bits = key_bits(n);
+    for (auto& s : samples) s.clear();
+    got.assign(n, 0);
+    for (std::uint32_t r = 0; r < pulls; ++r) {
+      net.begin_round();
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (net.node_fails(v)) {
+          net.record_failed_operation();
+          continue;
+        }
+        SplitMix64 stream = net.node_stream(v);
+        const std::uint32_t p = net.sample_peer(v, stream);
+        net.record_message(bits);
+        if (good[p] && got[v] < needed) {
+          samples[v].push_back(snapshot[p]);
+          ++got[v];
+        }
       }
     }
   }
-  return count;
-}
 
-}  // namespace
-
-RobustTwoTournamentOutcome robust_two_tournament(Network& net,
-                                                 std::vector<Key>& state,
-                                                 std::vector<bool>& good,
-                                                 double phi, double eps,
-                                                 bool truncate_last) {
-  const std::uint32_t n = net.size();
-  GQ_REQUIRE(state.size() == n && good.size() == n,
-             "state and good flags must have one entry per node");
-  GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
-  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
-
-  RobustTwoTournamentOutcome out;
-  const double mu = net.failures().max_probability();
-  out.pulls_per_iteration = robust_pull_count(mu, 4.0);
-  const auto [side, start] = tournament_side(phi, eps);
-  out.side = side;
-  const bool suppress_high = side == TournamentSide::kSuppressHigh;
-  const TwoTournamentSchedule schedule = two_tournament_schedule(start, eps);
-
-  std::vector<Key> snapshot(n);
-  std::vector<bool> next_good(n);
-  std::vector<std::vector<Key>> samples(n);
-  for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
-    const double delta = truncate_last ? schedule.delta[iter] : 1.0;
+  void two_iteration(std::uint32_t pulls, double delta, bool suppress_high) {
+    const std::uint32_t n = net.size();
     snapshot = state;
-    const std::vector<std::uint32_t> got =
-        collect_good_pulls(net, snapshot, good, out.pulls_per_iteration,
-                           /*needed=*/2, samples);
+    collect_good_pulls(pulls, /*needed=*/2);
     // The delta coin is drawn once per node per iteration; use a dedicated
     // round so its randomness is independent of the pulls.
     net.begin_round();
@@ -91,89 +74,60 @@ RobustTwoTournamentOutcome robust_two_tournament(Network& net,
       next_good[v] = true;
       SplitMix64 stream = net.node_stream(v);
       const bool tournament = delta >= 1.0 || rand_bernoulli(stream, delta);
-      if (tournament) {
-        const Key& a = samples[v][0];
-        const Key& b = samples[v][1];
-        state[v] = suppress_high ? std::min(a, b) : std::max(a, b);
-      } else {
-        state[v] = samples[v][0];
-      }
+      state[v] = robust_detail::two_tournament_commit(
+          samples[v][0], samples[v][1], tournament, suppress_high);
     }
     good = next_good;
-    ++out.iterations;
   }
-  return out;
-}
 
-RobustThreeTournamentOutcome robust_three_tournament(
-    Network& net, std::vector<Key>& state, std::vector<bool>& good,
-    double eps, std::uint32_t final_sample_size) {
-  const std::uint32_t n = net.size();
-  GQ_REQUIRE(state.size() == n && good.size() == n,
-             "state and good flags must have one entry per node");
-  GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
-
-  RobustThreeTournamentOutcome out;
-  const double mu = net.failures().max_probability();
-  out.pulls_per_iteration = robust_pull_count(mu, 6.0);
-  const ThreeTournamentSchedule schedule = three_tournament_schedule(eps, n);
-  const std::uint32_t k_samples = (final_sample_size | 1u);
-
-  std::vector<Key> snapshot(n);
-  std::vector<bool> next_good(n);
-  std::vector<std::vector<Key>> samples(n);
-  for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+  void three_iteration(std::uint32_t pulls) {
+    const std::uint32_t n = net.size();
     snapshot = state;
-    const std::vector<std::uint32_t> got =
-        collect_good_pulls(net, snapshot, good, out.pulls_per_iteration,
-                           /*needed=*/3, samples);
+    collect_good_pulls(pulls, /*needed=*/3);
     for (std::uint32_t v = 0; v < n; ++v) {
       if (!good[v] || got[v] < 3) {
         next_good[v] = false;
         continue;
       }
       next_good[v] = true;
-      state[v] = median3(samples[v][0], samples[v][1], samples[v][2]);
+      state[v] = robust_detail::median3(samples[v][0], samples[v][1],
+                                        samples[v][2]);
     }
     good = next_good;
-    ++out.iterations;
   }
 
-  // Robust final step: collect K good pulls out of Theta(K/(1-mu) log ...)
-  // attempts and output their median.
-  const std::uint32_t final_pulls =
-      robust_pull_count(mu, 2.0 * static_cast<double>(k_samples));
-  snapshot = state;
-  const std::vector<std::uint32_t> got = collect_good_pulls(
-      net, snapshot, good, final_pulls, k_samples, samples);
-  out.outputs.assign(n, Key::infinite());
-  out.valid.assign(n, false);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    if (!good[v] || got[v] < k_samples) continue;
-    auto& s = samples[v];
-    const auto mid = s.begin() + s.size() / 2;
-    std::nth_element(s.begin(), mid, s.end());
-    out.outputs[v] = *mid;
-    out.valid[v] = true;
-  }
-  return out;
-}
-
-std::uint64_t robust_coverage(Network& net, std::vector<Key>& outputs,
-                              std::vector<bool>& valid, std::uint32_t t) {
-  const std::uint32_t n = net.size();
-  GQ_REQUIRE(outputs.size() == n && valid.size() == n,
-             "outputs and valid flags must have one entry per node");
-  const std::uint64_t bits = key_bits(n);
-  std::uint64_t rounds = 0;
-  for (std::uint32_t r = 0; r < t; ++r) {
-    // Early exit once everyone is served keeps reported costs honest: a
-    // deployed node would simply stop asking.
-    if (std::all_of(valid.begin(), valid.end(), [](bool b) { return b; })) {
-      break;
+  void final_median_sample(std::uint32_t final_pulls, std::uint32_t k,
+                           std::vector<Key>& outputs,
+                           std::vector<bool>& valid) {
+    const std::uint32_t n = net.size();
+    snapshot = state;
+    collect_good_pulls(final_pulls, k);
+    outputs.assign(n, Key::infinite());
+    valid.assign(n, false);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!good[v] || got[v] < k) continue;
+      auto& s = samples[v];
+      const auto mid = s.begin() + s.size() / 2;
+      std::nth_element(s.begin(), mid, s.end());
+      outputs[v] = *mid;
+      valid[v] = true;
     }
+  }
+};
+
+struct NetworkCoverageOps {
+  Network& net;
+  std::vector<Key>& outputs;
+  std::vector<bool>& valid;
+
+  [[nodiscard]] bool all_served() const {
+    return std::all_of(valid.begin(), valid.end(), [](bool b) { return b; });
+  }
+
+  void coverage_round() {
+    const std::uint32_t n = net.size();
+    const std::uint64_t bits = key_bits(n);
     net.begin_round();
-    ++rounds;
     std::vector<bool> was_valid = valid;
     std::vector<Key> prev = outputs;
     for (std::uint32_t v = 0; v < n; ++v) {
@@ -191,7 +145,38 @@ std::uint64_t robust_coverage(Network& net, std::vector<Key>& outputs,
       }
     }
   }
-  return rounds;
+};
+
+}  // namespace
+
+RobustTwoTournamentOutcome robust_two_tournament(Network& net,
+                                                 std::vector<Key>& state,
+                                                 std::vector<bool>& good,
+                                                 double phi, double eps,
+                                                 bool truncate_last) {
+  GQ_REQUIRE(state.size() == net.size() && good.size() == net.size(),
+             "state and good flags must have one entry per node");
+  NetworkRobustOps ops(net, state, good);
+  return robust_detail::robust_two_tournament_impl(ops, phi, eps,
+                                                   truncate_last);
+}
+
+RobustThreeTournamentOutcome robust_three_tournament(
+    Network& net, std::vector<Key>& state, std::vector<bool>& good,
+    double eps, std::uint32_t final_sample_size) {
+  GQ_REQUIRE(state.size() == net.size() && good.size() == net.size(),
+             "state and good flags must have one entry per node");
+  NetworkRobustOps ops(net, state, good);
+  return robust_detail::robust_three_tournament_impl(ops, eps,
+                                                     final_sample_size);
+}
+
+std::uint64_t robust_coverage(Network& net, std::vector<Key>& outputs,
+                              std::vector<bool>& valid, std::uint32_t t) {
+  GQ_REQUIRE(outputs.size() == net.size() && valid.size() == net.size(),
+             "outputs and valid flags must have one entry per node");
+  NetworkCoverageOps ops{net, outputs, valid};
+  return robust_detail::robust_coverage_impl(ops, t);
 }
 
 }  // namespace gq

@@ -13,23 +13,21 @@
 // After the final step, nodes without an output pull for t extra rounds and
 // adopt any answer they see: all but ~n/2^t nodes end up served
 // (Theorem 1.4's caveat, which the paper shows is unavoidable).
+//
+// These are the sequential entry points; the schedule-level control flow is
+// shared with the parallel engine via core/robust_pipeline.hpp (which also
+// defines the outcome structs), and engine/kernels.hpp declares the
+// bit-identical Engine& overloads.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-#include "core/three_tournament.hpp"
-#include "core/two_tournament.hpp"
+#include "core/robust_pipeline.hpp"
 #include "sim/key.hpp"
 #include "sim/network.hpp"
 
 namespace gq {
-
-struct RobustTwoTournamentOutcome {
-  std::size_t iterations = 0;
-  TournamentSide side = TournamentSide::kSuppressHigh;
-  std::uint32_t pulls_per_iteration = 0;
-};
 
 // Robust Algorithm 1.  `good` is the per-node good flag, carried across
 // phases (pass all-true initially); bad nodes keep a stale value and are
@@ -39,13 +37,6 @@ RobustTwoTournamentOutcome robust_two_tournament(Network& net,
                                                  std::vector<bool>& good,
                                                  double phi, double eps,
                                                  bool truncate_last = true);
-
-struct RobustThreeTournamentOutcome {
-  std::size_t iterations = 0;
-  std::uint32_t pulls_per_iteration = 0;
-  std::vector<Key> outputs;      // per-node answer (meaningful iff valid)
-  std::vector<bool> valid;       // nodes that produced an output
-};
 
 // Robust Algorithm 2, including the robust final sampling step.
 RobustThreeTournamentOutcome robust_three_tournament(

@@ -78,6 +78,13 @@ class Engine {
   [[nodiscard]] unsigned threads() const noexcept { return pool_.threads(); }
   [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
 
+  // Index of the shard owning `node` (equivalently: whose range starts at a
+  // parallel_shards callback's `begin`).  Shard geometry lives in exactly
+  // one place so the kernels cannot drift from the dispatch layout.
+  [[nodiscard]] std::size_t shard_of(std::uint32_t node) const noexcept {
+    return node / config_.shard_size;
+  }
+
   // ---- sequential-compatible primitives --------------------------------
 
   // Starts the next synchronous round and returns its index.

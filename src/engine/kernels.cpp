@@ -33,14 +33,10 @@ struct KernelScratch {
   }
 };
 
-const Key& median3(const Key& a, const Key& b, const Key& c) {
-  if (a < b) {
-    if (b < c) return b;
-    return a < c ? c : a;
-  }
-  if (a < c) return a;
-  return b < c ? c : b;
-}
+// One median-of-three rule for every executor and kernel: the shared
+// robust_detail::median3 (core/robust_pipeline.hpp), so a tie-break tweak
+// cannot diverge the bit-identity twins.
+using robust_detail::median3;
 
 // Sharded copy between the caller's key vector and the pooled ping-pong
 // buffers (each kernel copies in on entry and out on exit).
@@ -284,6 +280,359 @@ ThreeTournamentOutcome three_tournament(Engine& engine,
       });
   copy_keys(engine, cur, state);
   return out;
+}
+
+// ---- robust (failure-model) kernels ---------------------------------------
+
+namespace {
+
+// Engine-pooled working state of the robust kernels: state and good-flag
+// ping-pong buffers (A is the iteration-start snapshot the fan-out pulls
+// read, commits write B), per-shard sample slices for the final K-sample
+// step, a staging row for vector<bool> results (vector<bool> is bit-packed,
+// so shards cannot write it concurrently), and the coverage loop's
+// per-shard unserved counters.  The 2-/3-sample tournament iterations need
+// no per-node sample storage at all — collect and commit fuse into one
+// parallel section, so a node's good samples live in registers.
+struct RobustScratch {
+  std::vector<Key> state_a, state_b;
+  std::vector<std::uint8_t> good_a, good_b;
+  std::vector<std::uint8_t> flags8;      // result staging row
+  std::vector<Key> final_samples;        // shards x K sample slices
+  std::vector<std::int64_t> shard_unserved;
+
+  void ensure(std::uint32_t n) {
+    if (state_a.size() < n) {
+      state_a.resize(n);
+      state_b.resize(n);
+      good_a.resize(n);
+      good_b.resize(n);
+      flags8.resize(n);
+    }
+  }
+  void ensure_final(std::size_t slots) {
+    if (final_samples.size() < slots) final_samples.resize(slots);
+  }
+  void ensure_shards(std::size_t shards) {
+    if (shard_unserved.size() < shards) shard_unserved.resize(shards);
+  }
+};
+
+// The engine instantiation of the shared robust control flow in
+// core/robust_pipeline.hpp; the sequential twin lives in core/robust.cpp.
+//
+// Each phase batches its k-fold fan-out pulls by advancing the round
+// counter for the whole pull block up front and deriving every (round,
+// node) stream directly — the same derivation the per-round loop would
+// use, so draws, failure coins, and Metrics are bit-identical while the
+// k round sweeps fuse into one parallel section per iteration.  The fold
+// per node reads only the immutable block-start snapshot (state A, good
+// A), so no scatter is involved (see robust_pipeline.hpp on why the
+// fan-out pulls are pull-shaped).
+class EngineRobustOps {
+ public:
+  EngineRobustOps(Engine& engine, std::vector<Key>& state,
+                  std::vector<bool>& good)
+      : engine_(engine),
+        state_(state),
+        good_(good),
+        n_(engine.size()),
+        bits_(key_bits(n_)),
+        scratch_(engine.scratch<RobustScratch>()) {
+    scratch_.ensure(n_);
+    cur_ = std::span<Key>(scratch_.state_a.data(), n_);
+    next_ = std::span<Key>(scratch_.state_b.data(), n_);
+    g_cur_ = std::span<std::uint8_t>(scratch_.good_a.data(), n_);
+    g_next_ = std::span<std::uint8_t>(scratch_.good_b.data(), n_);
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            cur_[v] = state[v];
+            g_cur_[v] = good[v] ? 1 : 0;
+          }
+        });
+  }
+
+  // Copies the carried state and good flags back to the caller's vectors
+  // (sequentially for `good`: vector<bool> is bit-packed).
+  void finish() {
+    engine_.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) state_[v] = cur_[v];
+        });
+    for (std::uint32_t v = 0; v < n_; ++v) good_[v] = g_cur_[v] != 0;
+  }
+
+  [[nodiscard]] std::uint32_t size() const { return n_; }
+  [[nodiscard]] double max_failure_probability() const {
+    return engine_.failures().max_probability();
+  }
+
+  // The one copy of the fan-out pull mechanics every robust phase folds
+  // over: advances the round counter for the whole block (`pulls` pull
+  // rounds plus `trailing_rounds` the caller's commit owns, e.g. the
+  // 2-tournament's delta-coin round), then runs one parallel section in
+  // which node v walks its pull rounds — failure coin billed, message
+  // billed on success, up to `capacity` samples collected from good peers
+  // out of the immutable block-start snapshot — and hands
+  // commit(v, samples, cnt, collecting) the result.  A node that is
+  // already bad, or already holds its `capacity` good samples, still
+  // pulls (the message is billed) but the peer draw has no observable
+  // effect, so it is skipped.  Samples stay register-resident for the
+  // tournament arities; larger capacities use a pooled per-shard slice,
+  // so the n x k sample matrix of the sequential path never materialises.
+  template <typename Commit>
+  void fanout_pull_block(std::uint32_t pulls, std::uint32_t trailing_rounds,
+                         std::uint32_t capacity, Commit&& commit) {
+    const std::uint64_t base = engine_.round() + 1;
+    for (std::uint32_t r = 0; r < pulls + trailing_rounds; ++r) {
+      engine_.begin_round();
+    }
+    constexpr std::uint32_t kInlineSamples = 3;
+    if (capacity > kInlineSamples) {
+      scratch_.ensure_final(engine_.num_shards() *
+                            static_cast<std::size_t>(capacity));
+    }
+    engine_.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          Key inline_samples[kInlineSamples];
+          Key* const samp =
+              capacity <= kInlineSamples
+                  ? inline_samples
+                  : scratch_.final_samples.data() +
+                        engine_.shard_of(begin) *
+                            static_cast<std::size_t>(capacity);
+          std::uint64_t sent = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            const bool collecting = g_cur_[v] != 0;
+            std::uint32_t cnt = 0;
+            for (std::uint32_t r = 0; r < pulls; ++r) {
+              if (streams::node_fails(engine_.seed(), base + r, v,
+                                      engine_.failures())) {
+                ++local.failed_operations;
+                continue;
+              }
+              ++sent;
+              if (!collecting || cnt >= capacity) continue;
+              SplitMix64 stream =
+                  streams::node_stream(engine_.seed(), base + r, v);
+              const std::uint32_t p = streams::sample_peer(v, n_, stream);
+              if (g_cur_[p] != 0) samp[cnt++] = cur_[p];
+            }
+            commit(v, samp, cnt, collecting);
+          }
+          local.record_messages(sent, bits_);
+        });
+  }
+
+  void two_iteration(std::uint32_t pulls, double delta, bool suppress_high) {
+    // The pull block plus one trailing round for the delta coin (whose
+    // randomness is independent of the pulls, as in the sequential path).
+    const std::uint64_t commit_round = engine_.round() + 1 + pulls;
+    fanout_pull_block(
+        pulls, /*trailing_rounds=*/1, /*capacity=*/2,
+        [&](std::uint32_t v, const Key* samp, std::uint32_t cnt,
+            bool collecting) {
+          if (!collecting || cnt < 2) {
+            next_[v] = cur_[v];
+            g_next_[v] = 0;
+            return;
+          }
+          g_next_[v] = 1;
+          SplitMix64 stream =
+              streams::node_stream(engine_.seed(), commit_round, v);
+          const bool tournament =
+              delta >= 1.0 || rand_bernoulli(stream, delta);
+          next_[v] = robust_detail::two_tournament_commit(
+              samp[0], samp[1], tournament, suppress_high);
+        });
+    std::swap(cur_, next_);
+    std::swap(g_cur_, g_next_);
+  }
+
+  void three_iteration(std::uint32_t pulls) {
+    fanout_pull_block(
+        pulls, /*trailing_rounds=*/0, /*capacity=*/3,
+        [&](std::uint32_t v, const Key* samp, std::uint32_t cnt,
+            bool collecting) {
+          if (!collecting || cnt < 3) {
+            next_[v] = cur_[v];
+            g_next_[v] = 0;
+            return;
+          }
+          g_next_[v] = 1;
+          next_[v] = robust_detail::median3(samp[0], samp[1], samp[2]);
+        });
+    std::swap(cur_, next_);
+    std::swap(g_cur_, g_next_);
+  }
+
+  void final_median_sample(std::uint32_t final_pulls, std::uint32_t k,
+                           std::vector<Key>& outputs,
+                           std::vector<bool>& valid) {
+    const std::span<std::uint8_t> valid8(scratch_.flags8.data(), n_);
+    outputs.assign(n_, Key::infinite());
+    fanout_pull_block(
+        final_pulls, /*trailing_rounds=*/0, /*capacity=*/k,
+        [&](std::uint32_t v, Key* samp, std::uint32_t cnt, bool collecting) {
+          if (!collecting || cnt < k) {
+            valid8[v] = 0;
+            return;
+          }
+          Key* const mid = samp + k / 2;
+          std::nth_element(samp, mid, samp + k);
+          outputs[v] = *mid;
+          valid8[v] = 1;
+        });
+    valid.resize(n_);
+    for (std::uint32_t v = 0; v < n_; ++v) valid[v] = valid8[v] != 0;
+  }
+
+ private:
+  Engine& engine_;
+  std::vector<Key>& state_;
+  std::vector<bool>& good_;
+  std::uint32_t n_;
+  std::uint64_t bits_;
+  RobustScratch& scratch_;
+  std::span<Key> cur_, next_;
+  std::span<std::uint8_t> g_cur_, g_next_;
+};
+
+// The batched coverage tail: outputs/valid ping-pong through the pooled
+// buffers (the sequential path re-copies both arrays every round), and the
+// early-exit check reads per-shard unserved counters maintained by each
+// round's commit instead of scanning all n flags.
+class EngineCoverageOps {
+ public:
+  EngineCoverageOps(Engine& engine, std::vector<Key>& outputs,
+                    std::vector<bool>& valid)
+      : engine_(engine),
+        outputs_(outputs),
+        valid_(valid),
+        n_(engine.size()),
+        bits_(key_bits(n_)),
+        scratch_(engine.scratch<RobustScratch>()) {
+    scratch_.ensure(n_);
+    scratch_.ensure_shards(engine.num_shards());
+    cur_ = std::span<Key>(scratch_.state_a.data(), n_);
+    next_ = std::span<Key>(scratch_.state_b.data(), n_);
+    v_cur_ = std::span<std::uint8_t>(scratch_.good_a.data(), n_);
+    v_next_ = std::span<std::uint8_t>(scratch_.good_b.data(), n_);
+    unserved_ = std::span<std::int64_t>(scratch_.shard_unserved.data(),
+                                        engine.num_shards());
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          std::int64_t open = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            cur_[v] = outputs[v];
+            const bool served = valid[v];
+            v_cur_[v] = served ? 1 : 0;
+            open += served ? 0 : 1;
+          }
+          unserved_[engine_.shard_of(begin)] = open;
+        });
+  }
+
+  void finish() {
+    engine_.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          for (std::uint32_t v = begin; v < end; ++v) outputs_[v] = cur_[v];
+        });
+    for (std::uint32_t v = 0; v < n_; ++v) valid_[v] = v_cur_[v] != 0;
+  }
+
+  [[nodiscard]] bool all_served() const {
+    std::int64_t open = 0;
+    for (const std::int64_t s : unserved_) open += s;
+    return open == 0;
+  }
+
+  void coverage_round() {
+    engine_.begin_round();
+    engine_.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          std::uint64_t sent = 0;
+          std::int64_t open = 0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            next_[v] = cur_[v];
+            if (v_cur_[v] != 0) {
+              v_next_[v] = 1;
+              continue;
+            }
+            if (engine_.node_fails(v)) {
+              ++local.failed_operations;
+              v_next_[v] = 0;
+              ++open;
+              continue;
+            }
+            SplitMix64 stream = engine_.node_stream(v);
+            const std::uint32_t p = engine_.sample_peer(v, stream);
+            ++sent;
+            if (v_cur_[p] != 0) {
+              next_[v] = cur_[p];
+              v_next_[v] = 1;
+            } else {
+              v_next_[v] = 0;
+              ++open;
+            }
+          }
+          unserved_[engine_.shard_of(begin)] = open;
+          local.record_messages(sent, bits_);
+        });
+    std::swap(cur_, next_);
+    std::swap(v_cur_, v_next_);
+  }
+
+ private:
+  Engine& engine_;
+  std::vector<Key>& outputs_;
+  std::vector<bool>& valid_;
+  std::uint32_t n_;
+  std::uint64_t bits_;
+  RobustScratch& scratch_;
+  std::span<Key> cur_, next_;
+  std::span<std::uint8_t> v_cur_, v_next_;
+  std::span<std::int64_t> unserved_;
+};
+
+}  // namespace
+
+RobustTwoTournamentOutcome robust_two_tournament(Engine& engine,
+                                                 std::vector<Key>& state,
+                                                 std::vector<bool>& good,
+                                                 double phi, double eps,
+                                                 bool truncate_last) {
+  GQ_REQUIRE(state.size() == engine.size() && good.size() == engine.size(),
+             "state and good flags must have one entry per node");
+  EngineRobustOps ops(engine, state, good);
+  RobustTwoTournamentOutcome out =
+      robust_detail::robust_two_tournament_impl(ops, phi, eps, truncate_last);
+  ops.finish();
+  return out;
+}
+
+RobustThreeTournamentOutcome robust_three_tournament(
+    Engine& engine, std::vector<Key>& state, std::vector<bool>& good,
+    double eps, std::uint32_t final_sample_size) {
+  GQ_REQUIRE(state.size() == engine.size() && good.size() == engine.size(),
+             "state and good flags must have one entry per node");
+  EngineRobustOps ops(engine, state, good);
+  RobustThreeTournamentOutcome out =
+      robust_detail::robust_three_tournament_impl(ops, eps,
+                                                  final_sample_size);
+  ops.finish();
+  return out;
+}
+
+std::uint64_t robust_coverage(Engine& engine, std::vector<Key>& outputs,
+                              std::vector<bool>& valid, std::uint32_t t) {
+  GQ_REQUIRE(outputs.size() == engine.size() && valid.size() == engine.size(),
+             "outputs and valid flags must have one entry per node");
+  EngineCoverageOps ops(engine, outputs, valid);
+  const std::uint64_t rounds = robust_detail::robust_coverage_impl(ops, t);
+  ops.finish();
+  return rounds;
 }
 
 }  // namespace gq

@@ -10,20 +10,36 @@
 // counter-based streams, same commit rule, same Metrics — which the
 // engine test suite pins at 1, 2, and 8 threads:
 //
-//   * median_dynamics       == MedianDynamicsProtocol via run_protocols
-//   * two_tournament        == core/two_tournament (Algorithm 1)
-//   * three_tournament      == core/three_tournament (Algorithm 2)
+//   * median_dynamics         == MedianDynamicsProtocol via run_protocols
+//   * two_tournament          == core/two_tournament (Algorithm 1)
+//   * three_tournament        == core/three_tournament (Algorithm 2)
+//   * robust_two_tournament   == core/robust.cpp (Section 5.1)
+//   * robust_three_tournament == core/robust.cpp (Section 5.1)
+//   * robust_coverage         == core/robust.cpp (Theorem 1.4 tail)
 //
 // The tournament kernels take the same pre-/post-conditions as the core
 // versions (failure-free network; one key per node) and return the same
-// outcome structs.  The per-iteration observer hook is not offered here:
-// it would force materialising the AoS state every iteration, defeating
-// the batching — use the sequential path for instrumented runs.
+// outcome structs; the robust kernels share the schedule-level control flow
+// with the sequential path via core/robust_pipeline.hpp and accept any
+// FailureModel.  The per-iteration observer hook is not offered here: it
+// would force materialising the AoS state every iteration, defeating the
+// batching — use the sequential path for instrumented runs.
+//
+// The robust kernels batch the k-fold fan-out pulls of Section 5.1 by
+// advancing the round counter for a whole pull block up front and letting
+// each node fold its own good samples directly from the immutable
+// block-start snapshot — one parallel section per iteration instead of
+// k round sweeps, with the n x k sample matrix of the sequential path
+// replaced by three pooled per-node sample slots (per-shard slices for the
+// final K-sample step).  Good flags and sample state live in
+// Engine::scratch, so steady-state robust rounds allocate nothing
+// (tests/test_engine_alloc.cpp).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/robust_pipeline.hpp"
 #include "core/three_tournament.hpp"
 #include "core/two_tournament.hpp"
 #include "engine/engine.hpp"
@@ -51,5 +67,25 @@ TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
 ThreeTournamentOutcome three_tournament(Engine& engine,
                                         std::vector<Key>& state, double eps,
                                         std::uint32_t final_sample_size = 15);
+
+// Robust Algorithm 1 on the engine; see core/robust.hpp.  `good` is the
+// per-node good flag, carried across phases (pass all-true initially).
+RobustTwoTournamentOutcome robust_two_tournament(Engine& engine,
+                                                 std::vector<Key>& state,
+                                                 std::vector<bool>& good,
+                                                 double phi, double eps,
+                                                 bool truncate_last = true);
+
+// Robust Algorithm 2 on the engine, including the robust final sampling
+// step; see core/robust.hpp.
+RobustThreeTournamentOutcome robust_three_tournament(
+    Engine& engine, std::vector<Key>& state, std::vector<bool>& good,
+    double eps, std::uint32_t final_sample_size = 15);
+
+// Coverage tail on the engine: for `t` rounds every unserved node pulls
+// and adopts the output of any served node it reaches.  Returns rounds
+// consumed; see core/robust.hpp.
+std::uint64_t robust_coverage(Engine& engine, std::vector<Key>& outputs,
+                              std::vector<bool>& valid, std::uint32_t t);
 
 }  // namespace gq

@@ -11,6 +11,7 @@
 
 #include "agg/push_sum.hpp"
 #include "analysis/theory_bounds.hpp"
+#include "core/approx_pipeline.hpp"
 #include "core/exact_pipeline.hpp"
 #include "engine/arena.hpp"
 #include "engine/kernels.hpp"
@@ -21,11 +22,6 @@
 
 namespace gq {
 namespace {
-
-// Index of the shard whose node range starts at `begin`.
-std::size_t shard_index(const Engine& engine, std::uint32_t begin) {
-  return begin / engine.config().shard_size;
-}
 
 // ---- generic extreme-spreading -------------------------------------------
 //
@@ -57,7 +53,7 @@ GenericSpreadResult<T> engine_spread_best(Engine& engine,
         for (std::uint32_t v = begin + 1; v < end; ++v) {
           if (less(best, cur[v])) best = cur[v];
         }
-        shard_best[shard_index(engine, begin)] = best;
+        shard_best[engine.shard_of(begin)] = best;
       });
   T target = shard_best[0];
   for (std::size_t s = 1; s < shards; ++s) {
@@ -82,7 +78,7 @@ GenericSpreadResult<T> engine_spread_best(Engine& engine,
             break;
           }
         }
-        done[shard_index(engine, begin)] = flag;
+        done[engine.shard_of(begin)] = flag;
       });
   const auto all_done = [&] {
     return std::all_of(done.begin(), done.end(),
@@ -105,7 +101,7 @@ GenericSpreadResult<T> engine_spread_best(Engine& engine,
                                                                      : cur[v];
             if (!equivalent(next[v])) flag = 0;
           }
-          done[shard_index(engine, begin)] = flag;
+          done[engine.shard_of(begin)] = flag;
         });
     cur.swap(next);
   }
@@ -412,7 +408,6 @@ TokenSplitResult token_split_distribute(Engine& engine,
   GQ_REQUIRE(multiplier * finite <= 4ull * n / 5 + 1,
              "token count must leave >= n/5 nodes free for scattering");
 
-  const std::uint32_t shard_size = engine.config().shard_size;
   const std::size_t shards = engine.num_shards();
   auto& scratch = engine.scratch<TokenSplitScratch>();
   TokenStore& held = scratch.store;
@@ -444,7 +439,7 @@ TokenSplitResult token_split_distribute(Engine& engine,
             }
           }
         }
-        heavy_shard[shard_index(engine, begin)].store(
+        heavy_shard[engine.shard_of(begin)].store(
             heavy, std::memory_order_relaxed);
       });
 
@@ -473,11 +468,12 @@ TokenSplitResult token_split_distribute(Engine& engine,
     held.push_back(dest, t);
     if (t.weight > 1) {
       ++heavy_node[dest];
-      heavy_shard[dest / shard_size].fetch_add(1, std::memory_order_relaxed);
+      heavy_shard[engine.shard_of(dest)].fetch_add(1,
+                                                  std::memory_order_relaxed);
     }
     if (before == 1) {
-      crowded_shard[dest / shard_size].fetch_add(1,
-                                                 std::memory_order_relaxed);
+      crowded_shard[engine.shard_of(dest)].fetch_add(
+          1, std::memory_order_relaxed);
     }
   };
 
@@ -499,7 +495,7 @@ TokenSplitResult token_split_distribute(Engine& engine,
     scatter.begin_round();
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          const std::size_t sidx = shard_index(engine, begin);
+          const std::size_t sidx = engine.shard_of(begin);
           if (heavy_shard[sidx].load(std::memory_order_relaxed) == 0) return;
           auto out = scatter.sender_for(begin);
           std::uint64_t sent = 0;
@@ -544,7 +540,7 @@ TokenSplitResult token_split_distribute(Engine& engine,
     scatter.begin_round();
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          const std::size_t sidx = shard_index(engine, begin);
+          const std::size_t sidx = engine.shard_of(begin);
           if (crowded_shard[sidx].load(std::memory_order_relaxed) == 0) {
             return;
           }
@@ -631,58 +627,56 @@ struct EngineExactOps {
   }
 };
 
-void require_failure_free(const Engine& engine) {
-  GQ_REQUIRE(engine.failures().never_fails(),
-             "engine pipelines cover the failure-free model; use the "
-             "sequential Network path for the robust Section-5 variants");
-}
+// The engine instantiation of the shared approximate-pipeline control flow
+// in core/approx_pipeline.hpp; the sequential twin lives in
+// core/approx_quantile.cpp.
+struct EngineApproxOps {
+  Engine& engine;
+
+  [[nodiscard]] std::uint32_t size() const { return engine.size(); }
+  [[nodiscard]] const Metrics& metrics() const { return engine.metrics(); }
+  [[nodiscard]] bool never_fails() const {
+    return engine.failures().never_fails();
+  }
+
+  ExactQuantileResult exact(std::span<const Key> keys,
+                            const ExactQuantileParams& params) {
+    return exact_quantile_keys(engine, keys, params);
+  }
+  TwoTournamentOutcome two(std::vector<Key>& state, double phi, double eps,
+                           bool truncate_last) {
+    return two_tournament(engine, state, phi, eps, truncate_last);
+  }
+  ThreeTournamentOutcome three(std::vector<Key>& state, double eps,
+                               std::uint32_t final_sample_size) {
+    return three_tournament(engine, state, eps, final_sample_size);
+  }
+  RobustTwoTournamentOutcome robust_two(std::vector<Key>& state,
+                                        std::vector<bool>& good, double phi,
+                                        double eps, bool truncate_last) {
+    return robust_two_tournament(engine, state, good, phi, eps,
+                                 truncate_last);
+  }
+  RobustThreeTournamentOutcome robust_three(std::vector<Key>& state,
+                                            std::vector<bool>& good,
+                                            double eps,
+                                            std::uint32_t final_sample_size) {
+    return robust_three_tournament(engine, state, good, eps,
+                                   final_sample_size);
+  }
+  std::uint64_t coverage(std::vector<Key>& outputs, std::vector<bool>& valid,
+                         std::uint32_t t) {
+    return robust_coverage(engine, outputs, valid, t);
+  }
+};
 
 }  // namespace
 
 ApproxQuantileResult approx_quantile_keys(Engine& engine,
                                           std::span<const Key> keys,
                                           const ApproxQuantileParams& params) {
-  const std::uint32_t n = engine.size();
-  GQ_REQUIRE(keys.size() == n, "one key per node required");
-  GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
-  GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
-             "eps must lie in (0, 1/2)");
-  require_failure_free(engine);
-
-  const Metrics before = engine.metrics();
-
-  if (params.eps < eps_tournament_floor(n) && !params.force_tournament) {
-    // Theorem 1.2 bootstrap: for eps below the sampling floor the exact
-    // algorithm is both correct and within the advertised round bound.
-    ExactQuantileParams ep;
-    ep.phi = params.phi;
-    const ExactQuantileResult er = exact_quantile_keys(engine, keys, ep);
-    ApproxQuantileResult out;
-    out.outputs = er.outputs;
-    out.valid = er.valid;
-    out.rounds = engine.metrics().rounds - before.rounds;
-    out.used_exact_fallback = true;
-    return out;
-  }
-
-  ApproxQuantileResult out;
-  std::vector<Key> state(keys.begin(), keys.end());
-  // Phase II approximates the median of the Phase-I configuration to eps/4:
-  // by Lemma 2.11 every quantile in [1/2 - eps/4, 1/2 + eps/4] of that
-  // configuration lies in the original [phi - eps, phi + eps] window.
-  const double phase2_eps = params.eps / 4.0;
-
-  const TwoTournamentOutcome p1 = two_tournament(
-      engine, state, params.phi, params.eps, params.truncate_last);
-  const ThreeTournamentOutcome p2 = three_tournament(
-      engine, state, phase2_eps, params.final_sample_size);
-  out.phase1_iterations = p1.iterations;
-  out.phase2_iterations = p2.iterations;
-  out.outputs = p2.outputs;
-  out.valid.assign(n, true);
-
-  out.rounds = engine.metrics().rounds - before.rounds;
-  return out;
+  EngineApproxOps ops{engine};
+  return approx_detail::approx_quantile_keys_impl(ops, keys, params);
 }
 
 ApproxQuantileResult approx_quantile(Engine& engine,
@@ -695,7 +689,6 @@ ApproxQuantileResult approx_quantile(Engine& engine,
 ExactQuantileResult exact_quantile_keys(Engine& engine,
                                         std::span<const Key> keys,
                                         const ExactQuantileParams& params) {
-  require_failure_free(engine);
   EngineExactOps ops{engine};
   return exact_detail::exact_quantile_keys_impl(ops, keys, params);
 }
@@ -713,7 +706,6 @@ OwnRankResult own_rank(Engine& engine, std::span<const double> values,
   GQ_REQUIRE(values.size() == n, "one value per node required");
   GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
              "eps must lie in (0, 1/2)");
-  require_failure_free(engine);
 
   const std::vector<Key> keys = make_keys(values);
   const double grid = params.eps / 2.0;

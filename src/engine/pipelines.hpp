@@ -19,11 +19,14 @@
 // flow itself is not duplicated: both executors instantiate the shared
 // template in core/exact_pipeline.hpp.
 //
-// Scope: the failure-free model.  The robust Section-5 variants still run
-// on the sequential Network only (ROADMAP: batched fan-out pulls); calling
-// these overloads under a FailureModel throws.  The batched collectives
-// below (spread, count, pivot, token split) do honour failure models —
-// only the tournament-based pipelines are restricted.
+// Scope: both the failure-free and the Section-5 failure model.  The
+// batched collectives below (spread, count, pivot, token split) honour
+// FailureModel directly, and under a failure model the pipelines route
+// through the engine-native robust kernels (engine/kernels.hpp:
+// robust_two_tournament / robust_three_tournament / robust_coverage, which
+// share the schedule control flow with core/robust.cpp via
+// core/robust_pipeline.hpp) — so adversarial sweeps run at n = 10^7 with
+// the same bit-identity guarantee, pinned by tests/test_engine_robust.cpp.
 #pragma once
 
 #include <cstdint>
@@ -78,7 +81,8 @@ namespace gq {
 // ---- pipelines ------------------------------------------------------------
 
 // The eps-approximate phi-quantile pipeline; see core/approx_quantile.hpp.
-// Failure-free only (robust variants: sequential path).
+// Under a FailureModel the robust Section-5 variants run, and the result's
+// `valid` mask reports which nodes were served.
 [[nodiscard]] ApproxQuantileResult approx_quantile(
     Engine& engine, std::span<const double> values,
     const ApproxQuantileParams& params);
@@ -87,7 +91,6 @@ namespace gq {
     const ApproxQuantileParams& params);
 
 // Algorithm 3, exact phi-quantile; see core/exact_quantile.hpp.
-// Failure-free only.
 [[nodiscard]] ExactQuantileResult exact_quantile(
     Engine& engine, std::span<const double> values,
     const ExactQuantileParams& params);
@@ -96,7 +99,6 @@ namespace gq {
     const ExactQuantileParams& params);
 
 // Corollary 1.5, own-rank estimation; see core/own_rank.hpp.
-// Failure-free only.
 [[nodiscard]] OwnRankResult own_rank(Engine& engine,
                                      std::span<const double> values,
                                      const OwnRankParams& params);

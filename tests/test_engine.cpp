@@ -643,18 +643,6 @@ TEST(EnginePipelines, OwnRankMatchesCore) {
   }
 }
 
-TEST(EnginePipelines, RejectFailureModels) {
-  Engine engine(64, 1, FailureModel::uniform(0.1),
-                EngineConfig{.threads = 1});
-  const std::vector<double> values(64, 1.0);
-  EXPECT_THROW((void)approx_quantile(engine, values, ApproxQuantileParams{}),
-               std::invalid_argument);
-  EXPECT_THROW((void)exact_quantile(engine, values, ExactQuantileParams{}),
-               std::invalid_argument);
-  EXPECT_THROW((void)own_rank(engine, values, OwnRankParams{}),
-               std::invalid_argument);
-}
-
 // Back-to-back pipelines on one Engine reuse the scatter arena, the pooled
 // push-sum scratch, and the token store across calls; the reuse must be
 // invisible — the second run must stay bit-identical to the second run of
