@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
+#include <limits>
 #include <thread>
 
 namespace gq::bench {
@@ -127,6 +128,74 @@ std::uint32_t smoke_capped(std::uint32_t n, std::uint32_t smoke_n) {
 std::size_t scaled_trials(std::size_t base) {
   const double t = std::round(static_cast<double>(base) * scale());
   return static_cast<std::size_t>(std::max(1.0, t));
+}
+
+namespace {
+
+// Comma-separated positive integers, with the same hard-error policy as
+// env_flag: a typo'd sweep must fail the run, not silently measure the
+// wrong configurations.  Values are bounded to uint32 (both consumers —
+// thread counts and gather blocks — are 32-bit knobs), and negatives are
+// rejected explicitly: strtoull would happily wrap "-1" to 2^64-1.
+std::vector<std::uint64_t> env_u64_list(const char* name) {
+  std::vector<std::uint64_t> out;
+  const char* s = std::getenv(name);
+  if (s == nullptr || s[0] == '\0') return out;
+  const auto reject = [&] {
+    std::fprintf(stderr,
+                 "%s=%s is not a comma-separated list of positive 32-bit "
+                 "integers\n",
+                 name, s);
+    std::exit(2);
+  };
+  const char* p = s;
+  while (*p != '\0') {
+    // Only a bare digit may start an entry: strtoull itself would skip
+    // whitespace and accept signs, reopening the wrap-around hole.
+    if (*p < '0' || *p > '9') reject();
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p || v == 0 ||
+        v > std::numeric_limits<std::uint32_t>::max()) {
+      reject();
+    }
+    out.push_back(v);
+    p = end;
+    if (*p == ',') {
+      ++p;
+      if (*p == '\0') reject();  // trailing comma is a typo, not a sweep
+    } else if (*p != '\0') {
+      reject();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<unsigned> thread_sweep(std::span<const unsigned> fallback) {
+  const std::vector<std::uint64_t> env = env_u64_list("GQ_BENCH_THREADS");
+  if (env.empty()) return {fallback.begin(), fallback.end()};
+  std::vector<unsigned> out;
+  out.reserve(env.size());
+  for (const std::uint64_t v : env) out.push_back(static_cast<unsigned>(v));
+  return out;
+}
+
+std::vector<std::uint32_t> block_sweep() {
+  const std::vector<std::uint64_t> env = env_u64_list("GQ_BENCH_BLOCK");
+  if (env.empty()) return {0};
+  std::vector<std::uint32_t> out;
+  out.reserve(env.size());
+  for (const std::uint64_t v : env) {
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+std::string block_suffix(std::uint32_t gather_block) {
+  if (gather_block == 0) return {};
+  return "@b" + std::to_string(gather_block);
 }
 
 JsonArtifact::JsonArtifact(std::string bench_name)

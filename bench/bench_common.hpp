@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,26 @@ void print_header(const std::string& id, const std::string& title,
 
 // max(1, round(base * scale()))
 [[nodiscard]] std::size_t scaled_trials(std::size_t base);
+
+// GQ_BENCH_THREADS ("1" or "1,2,8") overrides a bench's default engine
+// thread sweep; empty/unset keeps `fallback`.  Exists for single-core
+// boxes where multi-thread rows would measure oversubscription, not
+// scaling — the committed BENCH_engine.json perf-trajectory records are
+// captured with GQ_BENCH_THREADS=1 there.
+[[nodiscard]] std::vector<unsigned> thread_sweep(
+    std::span<const unsigned> fallback);
+
+// GQ_BENCH_BLOCK ("512" or "128,512,2048") sweeps EngineConfig::gather_block
+// in the engine benches; empty/unset yields {0} (the engine's tuned
+// default).  Block size is observable-neutral (results and Metrics are
+// bit-identical at every value), so the sweep is pure timing.
+[[nodiscard]] std::vector<std::uint32_t> block_sweep();
+
+// Record-name suffix for a non-default gather block ("@b512", "" for 0),
+// so swept rows cannot collide with the default-config perf trajectory in
+// BENCH_engine.json (records are keyed by (bench, pipeline, executor, n,
+// threads)).
+[[nodiscard]] std::string block_suffix(std::uint32_t gather_block);
 
 // ---- machine-readable perf records ----------------------------------------
 //

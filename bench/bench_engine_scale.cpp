@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -50,7 +51,7 @@ void pull_round_table(std::uint32_t n, std::uint64_t rounds) {
   artifact().add("pull_round", "network", n, 1, rounds, seq_secs, seq_secs);
 
   std::vector<std::uint32_t> peers(n);
-  for (unsigned threads : kThreadSweep) {
+  for (unsigned threads : bench::thread_sweep(kThreadSweep)) {
     Engine engine(n, 99, FailureModel{}, EngineConfig{.threads = threads});
     const auto t1 = std::chrono::steady_clock::now();
     for (std::uint64_t r = 0; r < rounds; ++r) engine.pull_round(32, peers);
@@ -88,7 +89,7 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
     artifact().add("median_dynamics", "network", n, 1, rounds, seq_secs, seq_secs);
   }
 
-  for (unsigned threads : kThreadSweep) {
+  for (unsigned threads : bench::thread_sweep(kThreadSweep)) {
     Engine engine(n, 42, FailureModel{}, EngineConfig{.threads = threads});
     std::vector<std::unique_ptr<NodeProtocol>> protos;
     protos.reserve(n);
@@ -105,17 +106,23 @@ void median_dynamics_table(std::uint32_t n, std::uint64_t iterations) {
            seq_secs);
   }
 
-  for (unsigned threads : kThreadSweep) {
-    Engine engine(n, 42, FailureModel{}, EngineConfig{.threads = threads});
-    std::vector<Key> state(keys.begin(), keys.end());
-    const auto t0 = std::chrono::steady_clock::now();
-    (void)median_dynamics(engine, state, iterations, rounds, bits);
-    const double secs = bench::seconds_since(t0);
-    table.add_row({"engine batched kernel", std::to_string(threads),
-                   bench::fmt_u(rounds), bench::fmt(bench::mnrs(n, rounds, secs)),
-                   bench::fmt(seq_secs / secs)});
-    artifact().add("median_dynamics_kernel", "engine", n, threads, rounds, secs,
-           seq_secs);
+  for (const std::uint32_t block : bench::block_sweep()) {
+    const std::string pipeline =
+        "median_dynamics_kernel" + bench::block_suffix(block);
+    for (unsigned threads : bench::thread_sweep(kThreadSweep)) {
+      Engine engine(n, 42, FailureModel{},
+                    EngineConfig{.threads = threads, .gather_block = block});
+      std::vector<Key> state(keys.begin(), keys.end());
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)median_dynamics(engine, state, iterations, rounds, bits);
+      const double secs = bench::seconds_since(t0);
+      table.add_row({"engine batched kernel", std::to_string(threads),
+                     bench::fmt_u(rounds),
+                     bench::fmt(bench::mnrs(n, rounds, secs)),
+                     bench::fmt(seq_secs / secs)});
+      artifact().add(pipeline.c_str(), "engine", n, threads, rounds, secs,
+                     seq_secs);
+    }
   }
   table.print();
 }
@@ -126,23 +133,33 @@ void kernel_only_table(std::uint32_t n, std::uint64_t iterations) {
   const std::uint64_t bits = KeyCodec(n).encoded_bits();
   const std::uint64_t rounds = 2 * iterations;
 
+  // Normalised against the sweep's first row (historically the t=1 run;
+  // GQ_BENCH_THREADS/GQ_BENCH_BLOCK can reorder what comes first).
   bench::Table table(
-      {"executor", "threads", "rounds", "Mnode-rounds/s", "speedup vs t=1"});
+      {"executor", "threads", "block", "rounds", "Mnode-rounds/s",
+       "speedup vs first row"});
   double base_secs = 0.0;
-  for (unsigned threads : kThreadSweep) {
-    Engine engine(n, 44, FailureModel{}, EngineConfig{.threads = threads});
-    std::vector<Key> state(keys.begin(), keys.end());
-    const auto t0 = std::chrono::steady_clock::now();
-    (void)median_dynamics(engine, state, iterations, rounds, bits);
-    const double secs = bench::seconds_since(t0);
-    if (threads == 1) base_secs = secs;
-    table.add_row({"engine batched kernel", std::to_string(threads),
-                   bench::fmt_u(rounds), bench::fmt(bench::mnrs(n, rounds, secs)),
-                   bench::fmt(base_secs / secs)});
-    // No sequential twin in this sweep (the table normalises against the
-    // 1-thread engine run); per the PerfRecord contract seq_seconds is 0.
-    artifact().add("median_dynamics_kernel", "engine", n, threads, rounds, secs,
-                   0.0);
+  for (const std::uint32_t block : bench::block_sweep()) {
+    const std::string pipeline =
+        "median_dynamics_kernel" + bench::block_suffix(block);
+    for (unsigned threads : bench::thread_sweep(kThreadSweep)) {
+      Engine engine(n, 44, FailureModel{},
+                    EngineConfig{.threads = threads, .gather_block = block});
+      std::vector<Key> state(keys.begin(), keys.end());
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)median_dynamics(engine, state, iterations, rounds, bits);
+      const double secs = bench::seconds_since(t0);
+      if (base_secs == 0.0) base_secs = secs;
+      table.add_row({"engine batched kernel", std::to_string(threads),
+                     block == 0 ? "auto" : std::to_string(block),
+                     bench::fmt_u(rounds),
+                     bench::fmt(bench::mnrs(n, rounds, secs)),
+                     bench::fmt(base_secs / secs)});
+      // No sequential twin in this sweep (the table normalises against the
+      // first engine run); per the PerfRecord contract seq_seconds is 0.
+      artifact().add(pipeline.c_str(), "engine", n, threads, rounds, secs,
+                     0.0);
+    }
   }
   table.print();
 }

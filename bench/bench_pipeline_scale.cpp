@@ -12,6 +12,7 @@
 // 10^7 sweep; GQ_BENCH_SMOKE=1 shrinks everything to CI-smoke scale.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,7 +41,7 @@ void approx_table(std::uint32_t n) {
   params.eps = 0.1;
 
   bench::Table table(
-      {"executor", "threads", "rounds", "Mnode-rounds/s", "speedup"});
+      {"executor", "threads", "block", "rounds", "Mnode-rounds/s", "speedup"});
   double seq_secs;
   std::uint64_t rounds;
   {
@@ -49,19 +50,26 @@ void approx_table(std::uint32_t n) {
     const auto r = approx_quantile(net, values, params);
     seq_secs = bench::seconds_since(t0);
     rounds = r.rounds;
-    table.add_row({"Network (sequential)", "1", bench::fmt_u(rounds),
+    table.add_row({"Network (sequential)", "1", "-", bench::fmt_u(rounds),
                    bench::fmt(bench::mnrs(n, rounds, seq_secs)), "1.00"});
     artifact().add("approx_quantile", "network", n, 1, rounds, seq_secs, seq_secs);
   }
-  for (unsigned threads : kThreadSweep) {
-    Engine engine(n, 1234, FailureModel{}, EngineConfig{.threads = threads});
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto r = approx_quantile(engine, values, params);
-    const double secs = bench::seconds_since(t0);
-    table.add_row({"Engine pipeline", std::to_string(threads),
-                   bench::fmt_u(r.rounds), bench::fmt(bench::mnrs(n, r.rounds, secs)),
-                   bench::fmt(seq_secs / secs)});
-    artifact().add("approx_quantile", "engine", n, threads, r.rounds, secs, seq_secs);
+  for (const std::uint32_t block : bench::block_sweep()) {
+    const std::string pipeline = "approx_quantile" + bench::block_suffix(block);
+    for (unsigned threads : bench::thread_sweep(kThreadSweep)) {
+      Engine engine(n, 1234, FailureModel{},
+                    EngineConfig{.threads = threads, .gather_block = block});
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = approx_quantile(engine, values, params);
+      const double secs = bench::seconds_since(t0);
+      table.add_row({"Engine pipeline", std::to_string(threads),
+                     block == 0 ? "auto" : std::to_string(block),
+                     bench::fmt_u(r.rounds),
+                     bench::fmt(bench::mnrs(n, r.rounds, secs)),
+                     bench::fmt(seq_secs / secs)});
+      artifact().add(pipeline.c_str(), "engine", n, threads, r.rounds, secs,
+                     seq_secs);
+    }
   }
   table.print();
 }
@@ -72,26 +80,33 @@ void exact_table(std::uint32_t n) {
   params.phi = 0.5;
 
   bench::Table table(
-      {"executor", "threads", "rounds", "Mnode-rounds/s", "speedup"});
+      {"executor", "threads", "block", "rounds", "Mnode-rounds/s", "speedup"});
   double seq_secs;
   {
     Network net(n, 4321);
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = exact_quantile(net, values, params);
     seq_secs = bench::seconds_since(t0);
-    table.add_row({"Network (sequential)", "1", bench::fmt_u(r.rounds),
+    table.add_row({"Network (sequential)", "1", "-", bench::fmt_u(r.rounds),
                    bench::fmt(bench::mnrs(n, r.rounds, seq_secs)), "1.00"});
     artifact().add("exact_quantile", "network", n, 1, r.rounds, seq_secs, seq_secs);
   }
-  for (unsigned threads : kThreadSweep) {
-    Engine engine(n, 4321, FailureModel{}, EngineConfig{.threads = threads});
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto r = exact_quantile(engine, values, params);
-    const double secs = bench::seconds_since(t0);
-    table.add_row({"Engine pipeline", std::to_string(threads),
-                   bench::fmt_u(r.rounds), bench::fmt(bench::mnrs(n, r.rounds, secs)),
-                   bench::fmt(seq_secs / secs)});
-    artifact().add("exact_quantile", "engine", n, threads, r.rounds, secs, seq_secs);
+  for (const std::uint32_t block : bench::block_sweep()) {
+    const std::string pipeline = "exact_quantile" + bench::block_suffix(block);
+    for (unsigned threads : bench::thread_sweep(kThreadSweep)) {
+      Engine engine(n, 4321, FailureModel{},
+                    EngineConfig{.threads = threads, .gather_block = block});
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = exact_quantile(engine, values, params);
+      const double secs = bench::seconds_since(t0);
+      table.add_row({"Engine pipeline", std::to_string(threads),
+                     block == 0 ? "auto" : std::to_string(block),
+                     bench::fmt_u(r.rounds),
+                     bench::fmt(bench::mnrs(n, r.rounds, secs)),
+                     bench::fmt(seq_secs / secs)});
+      artifact().add(pipeline.c_str(), "engine", n, threads, r.rounds, secs,
+                     seq_secs);
+    }
   }
   table.print();
 }

@@ -56,7 +56,7 @@ void robust_approx_table(std::uint32_t n, double mu, bool with_sequential,
       "robust_approx_quantile_mu" +
       std::to_string(static_cast<int>(mu * 100 + 0.5));
 
-  bench::Table table({"executor", "threads", "rounds", "served",
+  bench::Table table({"executor", "threads", "block", "rounds", "served",
                       "Mnode-rounds/s", "speedup"});
   double seq_secs = 0.0;
   if (with_sequential) {
@@ -64,24 +64,29 @@ void robust_approx_table(std::uint32_t n, double mu, bool with_sequential,
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = approx_quantile(net, values, params);
     seq_secs = bench::seconds_since(t0);
-    table.add_row({"Network (sequential)", "1", bench::fmt_u(r.rounds),
+    table.add_row({"Network (sequential)", "1", "-", bench::fmt_u(r.rounds),
                    bench::fmt_pct(static_cast<double>(r.served_nodes()) / n),
                    bench::fmt(bench::mnrs(n, r.rounds, seq_secs)), "1.00"});
     artifact().add(pipeline.c_str(), "network", n, 1, r.rounds, seq_secs,
                    seq_secs);
   }
-  for (unsigned threads : threads_sweep) {
-    Engine engine(n, 1789, fm, EngineConfig{.threads = threads});
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto r = approx_quantile(engine, values, params);
-    const double secs = bench::seconds_since(t0);
-    table.add_row({"Engine pipeline", std::to_string(threads),
-                   bench::fmt_u(r.rounds),
-                   bench::fmt_pct(static_cast<double>(r.served_nodes()) / n),
-                   bench::fmt(bench::mnrs(n, r.rounds, secs)),
-                   seq_secs > 0.0 ? bench::fmt(seq_secs / secs) : "-"});
-    artifact().add(pipeline.c_str(), "engine", n, threads, r.rounds, secs,
-                   seq_secs);
+  for (const std::uint32_t block : bench::block_sweep()) {
+    const std::string swept = pipeline + bench::block_suffix(block);
+    for (unsigned threads : bench::thread_sweep(threads_sweep)) {
+      Engine engine(n, 1789, fm,
+                    EngineConfig{.threads = threads, .gather_block = block});
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = approx_quantile(engine, values, params);
+      const double secs = bench::seconds_since(t0);
+      table.add_row({"Engine pipeline", std::to_string(threads),
+                     block == 0 ? "auto" : std::to_string(block),
+                     bench::fmt_u(r.rounds),
+                     bench::fmt_pct(static_cast<double>(r.served_nodes()) / n),
+                     bench::fmt(bench::mnrs(n, r.rounds, secs)),
+                     seq_secs > 0.0 ? bench::fmt(seq_secs / secs) : "-"});
+      artifact().add(swept.c_str(), "engine", n, threads, r.rounds, secs,
+                     seq_secs);
+    }
   }
   table.print();
 }

@@ -92,7 +92,8 @@ PipelineOutcome selection_endgame(Ops& ops, std::vector<Key>& inst,
     }
     const PivotSample pv = ops.pivot(inst, candidate);
     if (!pv.found) {
-      throw std::runtime_error(
+      throw ExactPipelineError(
+          ExactPipelineError::Kind::kEndgameNoCandidates,
           "selection endgame ran out of candidates (count inconsistency)");
     }
     ++out.endgame_phases;
@@ -109,7 +110,8 @@ PipelineOutcome selection_endgame(Ops& ops, std::vector<Key>& inst,
       lo_e = pv.pivot;
     }
   }
-  throw std::runtime_error("selection endgame did not converge");
+  throw ExactPipelineError(ExactPipelineError::Kind::kEndgameStalled,
+                           "selection endgame did not converge");
 }
 
 // Predicted round costs used by ExactStrategy::kAuto.  These only steer the
@@ -272,7 +274,8 @@ PipelineOutcome run_pipeline(Ops& ops, std::span<const Key> keys,
     const std::uint64_t survivors =
         (use_hi ? rank_hi : finite_cnt) - removed_below;
     if (survivors == 0) {
-      throw std::runtime_error("bracketing removed every candidate");
+      throw ExactPipelineError(ExactPipelineError::Kind::kBracketingEmptied,
+                               "bracketing removed every candidate");
     }
     if (block >= k) continue;  // finish via the min-broadcast fast path
 
@@ -376,7 +379,8 @@ ExactQuantileResult exact_quantile_keys_impl(
     out.rounds = ops.metrics().rounds - before.rounds;
     return out;
   }
-  throw std::runtime_error(
+  throw ExactPipelineError(
+      ExactPipelineError::Kind::kVerificationFailed,
       "exact_quantile failed verification after repeated attempts");
 }
 

@@ -1,13 +1,53 @@
-// Result structs for the quantile protocols.
+// Result structs and typed errors for the quantile protocols.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/key.hpp"
 #include "sim/metrics.hpp"
 
 namespace gq {
+
+// A run of the exact pipeline (Algorithm 3) aborted: under heavy failure
+// noise at small n the count-based machinery can mis-count — a pivot's
+// measured rank contradicts the bracketing state, the candidate set runs
+// dry, or the final verification disagrees — and the w.h.p. analysis no
+// longer applies.  This is thrown instead of returning a wrong answer.
+//
+// The error is *recoverable*: the executor (Network or Engine) remains
+// fully usable — rounds already consumed stay billed in Metrics, and the
+// caller can rerun with a fresh seed, a larger n, or a lighter failure
+// model.  Both executors share one copy of the pipeline control flow
+// (core/exact_pipeline.hpp), so for the same (input, seed, failure model)
+// they throw the same kind at the same point; tests/test_engine_robust.cpp
+// pins that.  Derives from std::runtime_error so pre-existing catch sites
+// keep working.
+class ExactPipelineError : public std::runtime_error {
+ public:
+  enum class Kind {
+    // The selection endgame found no remaining candidate between its
+    // brackets: an exact count must have been wrong.
+    kEndgameNoCandidates,
+    // The selection endgame exhausted max_endgame_phases without landing
+    // on rank k.
+    kEndgameStalled,
+    // Bracketing discarded every candidate (rank counts inconsistent).
+    kBracketingEmptied,
+    // The final answer's measured rank disagreed with the target on every
+    // verification attempt.
+    kVerificationFailed,
+  };
+
+  ExactPipelineError(Kind kind, const char* what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 struct ApproxQuantileResult {
   // outputs[v]: the key node v settles on.  Under the failure model a node

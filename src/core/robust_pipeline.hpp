@@ -77,7 +77,13 @@ struct RobustThreeTournamentOutcome {
 
 namespace robust_detail {
 
-inline const Key& median3(const Key& a, const Key& b, const Key& c) {
+// The commit rules are templated over the ordered state representation:
+// the sequential Network ops run them on Key, the engine kernels on the
+// 32-bit interned ranks of sim/key_intern.hpp.  Rank order is key order by
+// construction, so one copy of each rule serves both — a tie-break tweak
+// cannot diverge the bit-identity twins.
+template <typename T>
+inline const T& median3(const T& a, const T& b, const T& c) {
   if (a < b) {
     if (b < c) return b;
     return a < c ? c : a;
@@ -89,8 +95,9 @@ inline const Key& median3(const Key& a, const Key& b, const Key& c) {
 // Commit rule of one good node in a robust 2-TOURNAMENT iteration: the
 // tournament (when the delta coin lands) takes min/max of the first two
 // good samples; otherwise the node adopts the first sample unchanged.
-inline Key two_tournament_commit(const Key& s0, const Key& s1,
-                                 bool tournament, bool suppress_high) {
+template <typename T>
+inline T two_tournament_commit(const T& s0, const T& s1, bool tournament,
+                               bool suppress_high) {
   if (!tournament) return s0;
   return suppress_high ? std::min(s0, s1) : std::max(s0, s1);
 }

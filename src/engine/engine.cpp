@@ -14,7 +14,7 @@ Engine::Engine(std::uint32_t n, std::uint64_t seed, FailureModel failures,
                        ? 1
                        : (static_cast<std::size_t>(n) + config.shard_size - 1) /
                              config.shard_size)),
-      pool_(config.threads) {
+      pool_(config.threads, config.pin_workers) {
   GQ_REQUIRE(n >= 2, "a gossip network needs at least two nodes");
   GQ_REQUIRE(config.shard_size > 0, "shard size must be positive");
   shard_scratch_.resize(num_shards_);

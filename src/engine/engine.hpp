@@ -85,6 +85,30 @@ class Engine {
     return node / config_.shard_size;
   }
 
+  // Tuned default for EngineConfig::gather_block (see README "Performance"
+  // and the GQ_BENCH_BLOCK sweep in the engine benches).  Large enough to
+  // put hundreds of independent prefetches in flight per block, small
+  // enough that a block's index lanes stay L1/L2-resident.
+  static constexpr std::uint32_t kDefaultGatherBlock = 512;
+
+  // Resolved gather block size for the batched kernels (config value, or
+  // the tuned default when the config leaves it 0).  Purely a performance
+  // knob: results and Metrics are identical at every value.
+  [[nodiscard]] std::uint32_t gather_block() const noexcept {
+    return config_.gather_block != 0 ? config_.gather_block
+                                     : kDefaultGatherBlock;
+  }
+
+  // Tuned default for EngineConfig::intern_min_nodes: at 2^16 nodes the
+  // Key-typed state (~1.5 MB) outgrows the private caches, which is where
+  // the interned rank lanes start paying for their sort.
+  static constexpr std::uint32_t kDefaultInternMinNodes = 1u << 16;
+
+  [[nodiscard]] std::uint32_t intern_min_nodes() const noexcept {
+    return config_.intern_min_nodes != 0 ? config_.intern_min_nodes
+                                         : kDefaultInternMinNodes;
+  }
+
   // ---- sequential-compatible primitives --------------------------------
 
   // Starts the next synchronous round and returns its index.
@@ -139,8 +163,13 @@ class Engine {
     };
     pool_.run(num_shards_, shard_task);
     // Deterministic aggregation: shard order is fixed by (n, shard_size),
-    // independent of which thread ran which shard.
-    for (const Metrics& local : shard_scratch_) metrics_.merge(local);
+    // independent of which thread ran which shard.  Shards that recorded
+    // nothing are skipped — merging zeros is a no-op, so the skip is
+    // observationally neutral and keeps per-section accounting proportional
+    // to the shards that actually billed traffic.
+    for (const Metrics& local : shard_scratch_) {
+      if (!local.empty()) metrics_.merge(local);
+    }
   }
 
   // The underlying worker pool, for engine subsystems (e.g. the scatter

@@ -18,6 +18,33 @@ struct EngineConfig {
   // with it every metric — is deterministic.  Smaller shards balance load
   // better; larger shards amortise dispatch overhead.
   std::uint32_t shard_size = 1u << 14;
+
+  // Nodes per gather block in the batched kernels' hot loops.  A kernel
+  // round first materialises a block's peer indices into a scratch lane,
+  // issues software prefetches for the peer state lines, then runs the
+  // compute pass against warm lines.  Purely a performance knob: draw
+  // order, results, and Metrics are identical at every block size (pinned
+  // by tests/test_engine.cpp).  0 picks the tuned default.
+  std::uint32_t gather_block = 0;
+
+  // Minimum node count at which the failure-free tournament and
+  // median-dynamics kernels switch their ping-pong state from pooled Key
+  // buffers to interned 32-bit rank lanes (sim/key_intern.hpp).  Below
+  // it the whole state is cache-resident, so the O(n log n) intern costs
+  // more than the compact gathers save; above it the 6x smaller gather
+  // footprint dominates.  Purely a performance knob (results and Metrics
+  // are identical under either representation); 0 picks the tuned
+  // default.  The robust kernels always intern — their repeated fan-out
+  // pulls amortise the sort even at small n.
+  std::uint32_t intern_min_nodes = 0;
+
+  // Pin worker threads to distinct cores so first-touch page placement
+  // (FirstTouchBuffer, scatter mailbox rows) survives scheduler migration.
+  // Opt-in: pinning a shared machine's cores is a policy decision the
+  // engine must not make silently.  Where the platform offers no affinity
+  // API this is a no-op with a one-line warning.  The calling thread is
+  // never pinned (it belongs to the application).
+  bool pin_workers = false;
 };
 
 }  // namespace gq

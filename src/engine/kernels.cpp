@@ -3,33 +3,135 @@
 #include <algorithm>
 #include <array>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/key_intern.hpp"
 #include "sim/streams.hpp"
+#include "util/prefetch.hpp"
 #include "util/require.hpp"
 
 namespace gq {
 namespace {
 
-// Engine-pooled working state for the batched kernels (Engine::scratch):
-// two ping-pong key buffers plus the per-round peer picks.  Ping-pong
-// replaces the per-iteration snapshot copy — commits read buffer A and
-// write buffer B, so A *is* the iteration-start snapshot for free — and
-// the AoS Key layout keeps each random peer read to one cache line where
-// the previous struct-of-arrays layout touched three.
-struct KernelScratch {
-  std::vector<Key> a, b;
-  std::vector<std::uint32_t> picks0, picks1, picks2;
+// Lookahead distance for gather loops whose index lane is walked linearly
+// (lane exports, verify passes, coverage finish): far enough to cover the
+// miss latency, close enough that the touched line is still resident when
+// the loop reaches it.
+constexpr std::uint32_t kPrefetchAhead = 16;
+
+// ---- compact interned state lanes -----------------------------------------
+//
+// Every tournament-shaped kernel runs on 32-bit rank lanes instead of
+// Key-typed buffers: the state's distinct keys are interned once into a
+// sorted table (sim/key_intern.hpp) and the ping-pong buffers hold ranks.
+// Rank order is key order, so min/max/median/nth_element commits decide
+// identically — what changes is that a round's random peer gather touches
+// a 4-byte lane entry (16 per cache line) instead of a Key-sized record,
+// which at n = 10^6..10^7 is the difference between latency-bound misses
+// and a prefetchable stream.
+//
+// The session fields let consecutive kernels of one pipeline (two- then
+// three-tournament; robust two then robust three) skip the O(n log n)
+// re-intern: a kernel exports table[lane] back into the caller's vector on
+// exit and records that lane A still encodes it; the next kernel VERIFIES
+// the claim with one exact parallel compare pass (state[v] == table[lane[v]]
+// for all v) and re-interns only on mismatch.  The check is exact — there
+// is no hash shortcut to collide — so a caller mutating its state between
+// kernel calls simply pays a fresh intern, never a wrong answer.
+struct LaneScratch {
+  KeyInterner interner;
+  std::vector<std::uint32_t> lane_a, lane_b;  // rank ping-pong (A is live)
+  std::vector<std::uint8_t> shard_ok;         // verify-pass per-shard flags
+  bool session = false;      // lane A encodes the last exported state
+  std::uint32_t session_n = 0;
+
+  void ensure(std::uint32_t n, std::size_t shards) {
+    if (lane_a.size() < n) {
+      lane_a.resize(n);
+      lane_b.resize(n);
+    }
+    if (shard_ok.size() < shards) shard_ok.resize(shards);
+  }
+};
+
+// Puts `state` into lane A as ranks, reusing the previous session's table
+// and lane when the verify pass proves them current (one gather pass, ~one
+// round's cost) and re-interning otherwise (one sort, amortised over the
+// dozens of gather rounds the lanes then serve).
+void lane_import(Engine& engine, std::span<const Key> state, LaneScratch& s) {
+  const auto n = static_cast<std::uint32_t>(state.size());
+  s.ensure(n, engine.num_shards());
+  if (s.session && s.session_n == n) {
+    const std::span<const Key> table = s.interner.table();
+    const std::uint32_t* const lane = s.lane_a.data();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          std::uint8_t ok = 1;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (v + kPrefetchAhead < end) {
+              prefetch_read(&table[lane[v + kPrefetchAhead]]);
+            }
+            if (state[v] != table[lane[v]]) {
+              ok = 0;
+              break;
+            }
+          }
+          s.shard_ok[engine.shard_of(begin)] = ok;
+        });
+    bool all = true;
+    for (std::size_t sh = 0; sh < engine.num_shards(); ++sh) {
+      all = all && s.shard_ok[sh] != 0;
+    }
+    if (all) return;
+  }
+  s.interner.intern(state, std::span<std::uint32_t>(s.lane_a.data(), n));
+  s.session = true;
+  s.session_n = n;
+}
+
+// Writes table[lane A] back into the caller's state.  Lane A still encodes
+// the exported state afterwards, which is exactly the session claim the
+// next lane_import verifies.
+void lane_export(Engine& engine, LaneScratch& s, std::span<Key> state) {
+  const std::span<const Key> table = s.interner.table();
+  const std::uint32_t* const lane = s.lane_a.data();
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          if (v + kPrefetchAhead < end) {
+            prefetch_read(&table[lane[v + kPrefetchAhead]]);
+          }
+          state[v] = table[lane[v]];
+        }
+      });
+}
+
+// Restores the "lane A is live" invariant after a kernel's ping-pong swaps.
+void lane_settle(LaneScratch& s, std::span<const std::uint32_t> cur) {
+  if (cur.data() != s.lane_a.data()) s.lane_a.swap(s.lane_b);
+}
+
+// Engine-pooled per-round peer-pick lanes (uninitialized first-touch
+// storage: each lane slot is written by its owning shard every round before
+// any read).  `wide` backs the per-shard pick+sample slices of the fused
+// K-sampling step when K exceeds the stack buffer.
+struct PickScratch {
+  FirstTouchBuffer<std::uint32_t> p0, p1, p2;
+  std::vector<std::uint32_t> wide;
+  std::vector<Key> wide_keys;  // sample slices of the Key representation
 
   void ensure(std::uint32_t n) {
-    if (a.size() < n) {
-      a.resize(n);
-      b.resize(n);
-      picks0.resize(n);
-      picks1.resize(n);
-      picks2.resize(n);
-    }
+    p0.ensure(n);
+    p1.ensure(n);
+    p2.ensure(n);
+  }
+  void ensure_wide(std::size_t slots) {
+    if (wide.size() < slots) wide.resize(slots);
+  }
+  void ensure_wide_keys(std::size_t slots) {
+    if (wide_keys.size() < slots) wide_keys.resize(slots);
   }
 };
 
@@ -38,8 +140,22 @@ struct KernelScratch {
 // cannot diverge the bit-identity twins.
 using robust_detail::median3;
 
-// Sharded copy between the caller's key vector and the pooled ping-pong
-// buffers (each kernel copies in on entry and out on exit).
+// Pooled Key-typed ping-pong buffers: the below-intern-threshold
+// representation of the failure-free kernels (see EngineConfig::
+// intern_min_nodes — small states are cache-resident, so blocked prefetch
+// over Key records beats paying an O(n log n) intern).
+struct KeyPairScratch {
+  std::vector<Key> a, b;
+
+  void ensure(std::uint32_t n) {
+    if (a.size() < n) {
+      a.resize(n);
+      b.resize(n);
+    }
+  }
+};
+
+// Sharded copy between the caller's key vector and the pooled Key buffers.
 void copy_keys(Engine& engine, std::span<const Key> from, std::span<Key> to) {
   engine.parallel_shards(
       [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
@@ -47,32 +163,25 @@ void copy_keys(Engine& engine, std::span<const Key> from, std::span<Key> to) {
       });
 }
 
-}  // namespace
-
-RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
-                              std::uint64_t iterations,
-                              std::uint64_t max_rounds,
-                              std::uint64_t bits_per_message) {
-  const std::uint32_t n = engine.size();
-  GQ_REQUIRE(state.size() == n, "one key per node required");
-
+// The round mechanics of median dynamics, templated over the state
+// representation: T = std::uint32_t (interned rank lanes) or Key (pooled
+// AoS buffers).  Both run the same blocked draw/prefetch/commit structure
+// with identical per-node draw order and Metrics, so the representation is
+// unobservable.  Returns with *live pointing at the buffer holding the
+// final state (the ping-pong may end on either).
+template <typename T>
+RuntimeResult median_dynamics_rounds(
+    Engine& engine, std::span<T> cur, std::span<T> next,
+    std::span<std::uint32_t> first, std::span<std::uint32_t> second,
+    std::uint64_t iterations, std::uint64_t max_rounds,
+    std::uint64_t bits_per_message, const T** live) {
+  const std::uint32_t block = engine.gather_block();
   RuntimeResult out;
-  if (iterations == 0) {
-    out.all_finished = true;
-    return out;
-  }
-  auto& scratch = engine.scratch<KernelScratch>();
-  scratch.ensure(n);
-  std::span<Key> cur(scratch.a.data(), n);
-  std::span<Key> next(scratch.b.data(), n);
-  const std::span<std::uint32_t> first(scratch.picks0.data(), n);
-  const std::span<std::uint32_t> second(scratch.picks1.data(), n);
-  copy_keys(engine, state, cur);
-
   std::uint64_t completed = 0;
   while (completed < iterations && out.rounds < max_rounds) {
-    // First round of the iteration: the first sample.  `cur` is immutable
-    // until the commit, so it doubles as the iteration-start snapshot.
+    // First round of the iteration: the first sample.  Pure pick pass — no
+    // gathers — so no blocking is needed; `cur` stays immutable until the
+    // commit and doubles as the iteration-start snapshot.
     engine.begin_round();
     ++out.rounds;
     engine.parallel_shards(
@@ -92,40 +201,297 @@ RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
         });
     if (out.rounds >= max_rounds) break;  // half iteration: never committed
 
-    // Second round: the second sample, with the commit fused in — it reads
-    // only the immutable `cur` and writes only `next`.  A failed pull on
-    // either round forfeits the iteration's update, as in the protocol.
+    // Second round: the second sample with the commit fused in, blocked —
+    // per block the draws land first, then prefetches over both gather
+    // targets, then the median commit against warm lines.  A failed pull
+    // on either round forfeits the iteration's update, as in the protocol.
     engine.begin_round();
     ++out.rounds;
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
           std::uint64_t sent = 0;
-          for (std::uint32_t v = begin; v < end; ++v) {
-            if (engine.node_fails(v)) {
-              ++local.failed_operations;
-              second[v] = Engine::kNoPeer;
-              continue;
+          for (std::uint32_t b0 = begin; b0 < end; b0 += block) {
+            const std::uint32_t b1 = std::min(b0 + block, end);
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              if (engine.node_fails(v)) {
+                ++local.failed_operations;
+                second[v] = Engine::kNoPeer;
+                continue;
+              }
+              SplitMix64 stream = engine.node_stream(v);
+              second[v] = engine.sample_peer(v, stream);
+              ++sent;
             }
-            SplitMix64 stream = engine.node_stream(v);
-            second[v] = engine.sample_peer(v, stream);
-            ++sent;
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              if (first[v] != Engine::kNoPeer) prefetch_read(&cur[first[v]]);
+              if (second[v] != Engine::kNoPeer) {
+                prefetch_read(&cur[second[v]]);
+              }
+            }
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              if (first[v] == Engine::kNoPeer ||
+                  second[v] == Engine::kNoPeer) {
+                next[v] = cur[v];
+                continue;
+              }
+              const T& a = cur[first[v]];
+              const T& b = cur[second[v]];
+              next[v] = median3(a, b, cur[v]);
+            }
           }
           local.record_messages(sent, bits_per_message);
-          for (std::uint32_t v = begin; v < end; ++v) {
-            if (first[v] == Engine::kNoPeer || second[v] == Engine::kNoPeer) {
-              next[v] = cur[v];
-              continue;
-            }
-            const Key& a = cur[first[v]];
-            const Key& b = cur[second[v]];
-            next[v] = median3(a, b, cur[v]);
-          }
         });
     std::swap(cur, next);
     ++completed;
   }
   out.all_finished = completed >= iterations;
-  copy_keys(engine, cur, state);
+  *live = cur.data();
+  return out;
+}
+
+// The 2-TOURNAMENT iteration loop, templated over the state
+// representation (interned ranks or Keys) exactly like
+// median_dynamics_rounds.  Returns the live buffer via *live.
+template <typename T>
+std::size_t two_tournament_rounds(Engine& engine, std::span<T> cur,
+                                  std::span<T> next,
+                                  std::span<std::uint32_t> first,
+                                  std::span<std::uint32_t> second,
+                                  const TwoTournamentSchedule& schedule,
+                                  bool truncate_last, bool suppress_high,
+                                  std::uint64_t bits, const T** live) {
+  const std::uint32_t block = engine.gather_block();
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    const double delta = truncate_last ? schedule.delta[iter] : 1.0;
+
+    // Round 1: every node pulls its first sample.  Pick pass only; `cur`
+    // is the iteration snapshot and stays immutable until the commit.
+    engine.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          for (std::uint32_t v = begin; v < end; ++v) {
+            SplitMix64 stream = engine.node_stream(v);
+            first[v] = engine.sample_peer(v, stream);
+          }
+          local.record_messages(end - begin, bits);
+        });
+
+    // Round 2: the delta coin and, if it lands, the second sample — then
+    // the tournament commit, blocked: draws, prefetches over both samples'
+    // state lines, compute against warm lines.  Per-node draw order (coin,
+    // then peer, from one stream) is exactly the sequential path's.
+    engine.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          std::uint64_t sent = 0;
+          for (std::uint32_t b0 = begin; b0 < end; b0 += block) {
+            const std::uint32_t b1 = std::min(b0 + block, end);
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              SplitMix64 stream = engine.node_stream(v);
+              const bool tournament =
+                  delta >= 1.0 || rand_bernoulli(stream, delta);
+              if (tournament) {
+                second[v] = engine.sample_peer(v, stream);
+                ++sent;
+              } else {
+                second[v] = Engine::kNoPeer;
+              }
+            }
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              prefetch_read(&cur[first[v]]);
+              if (second[v] != Engine::kNoPeer) {
+                prefetch_read(&cur[second[v]]);
+              }
+            }
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              const T& a = cur[first[v]];
+              if (second[v] == Engine::kNoPeer) {
+                next[v] = a;
+              } else {
+                const T& b = cur[second[v]];
+                next[v] = suppress_high ? std::min(a, b) : std::max(a, b);
+              }
+            }
+          }
+          local.record_messages(sent, bits);
+        });
+    std::swap(cur, next);
+
+    ++iterations;
+  }
+  *live = cur.data();
+  return iterations;
+}
+
+// The 3-TOURNAMENT iteration loop plus the fused final K-sampling step,
+// templated like two_tournament_rounds.  key_of maps a state entry to the
+// Key it denotes (identity for the Key representation, a table lookup for
+// ranks) — only the final outputs materialise Keys.
+template <typename T, typename KeyOf>
+std::size_t three_tournament_rounds(
+    Engine& engine, PickScratch& picks, std::span<T> cur, std::span<T> next,
+    const std::array<std::span<std::uint32_t>, 3>& pk,
+    const ThreeTournamentSchedule& schedule, std::uint32_t k_samples,
+    std::uint64_t bits, std::vector<Key>& outputs, KeyOf&& key_of,
+    const T** live) {
+  const std::uint32_t n = engine.size();
+  const std::uint32_t block = engine.gather_block();
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    // Three pulls = three rounds, all reading the iteration-start state
+    // (`cur` is immutable until the commit, which writes `next`).  The
+    // first two are pure pick passes; the third is blocked — its draws,
+    // prefetches over all three samples' state lines, and the fused
+    // median commit run per block against warm lines.
+    for (int pull = 0; pull < 3; ++pull) {
+      engine.begin_round();
+      engine.parallel_shards(
+          [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+            const auto& out_picks = pk[static_cast<std::size_t>(pull)];
+            if (pull < 2) {
+              for (std::uint32_t v = begin; v < end; ++v) {
+                SplitMix64 stream = engine.node_stream(v);
+                out_picks[v] = engine.sample_peer(v, stream);
+              }
+            } else {
+              for (std::uint32_t b0 = begin; b0 < end; b0 += block) {
+                const std::uint32_t b1 = std::min(b0 + block, end);
+                for (std::uint32_t v = b0; v < b1; ++v) {
+                  SplitMix64 stream = engine.node_stream(v);
+                  out_picks[v] = engine.sample_peer(v, stream);
+                }
+                for (std::uint32_t v = b0; v < b1; ++v) {
+                  prefetch_read(&cur[pk[0][v]]);
+                  prefetch_read(&cur[pk[1][v]]);
+                  prefetch_read(&cur[pk[2][v]]);
+                }
+                for (std::uint32_t v = b0; v < b1; ++v) {
+                  next[v] =
+                      median3(cur[pk[0][v]], cur[pk[1][v]], cur[pk[2][v]]);
+                }
+              }
+            }
+            local.record_messages(end - begin, bits);
+          });
+    }
+    std::swap(cur, next);
+    ++iterations;
+  }
+
+  // Final step: every node samples K values and outputs their median.  The
+  // tournament state is immutable during these rounds, so the K sampling
+  // rounds fuse into one parallel section: the round counter advances K
+  // times up front, and each node derives the per-round streams directly —
+  // the same (seed, round, v) derivation the per-round kernel would use,
+  // so draws and Metrics are bit-identical while the K-pass sample matrix
+  // disappears entirely.  Each node's K picks are drawn (and prefetched)
+  // before its K gathers, so the draw ALU covers the miss latency.
+  const std::uint64_t first_sample_round = engine.round() + 1;
+  for (std::uint32_t j = 0; j < k_samples; ++j) engine.begin_round();
+  outputs.resize(n);
+  constexpr std::uint32_t kMaxStackSamples = 64;
+  const std::size_t shards = engine.num_shards();
+  const auto wide_k = static_cast<std::size_t>(k_samples);
+  if (k_samples > kMaxStackSamples) {
+    // Oversized K: per-shard pick and sample slices come from pooled
+    // lanes, so even this path allocates nothing in steady state.  Picks
+    // are always 32-bit; samples live in the pool matching the state
+    // representation (ranks share `wide` behind the pick region).
+    if constexpr (std::is_same_v<T, Key>) {
+      picks.ensure_wide(shards * wide_k);
+      picks.ensure_wide_keys(shards * wide_k);
+    } else {
+      picks.ensure_wide(2 * shards * wide_k);
+    }
+  }
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+        std::uint32_t stack_picks[kMaxStackSamples];
+        T stack_samples[kMaxStackSamples];
+        std::uint32_t* pick = stack_picks;
+        T* samp = stack_samples;
+        if (k_samples > kMaxStackSamples) {
+          const std::size_t shard = engine.shard_of(begin);
+          pick = picks.wide.data() + shard * wide_k;
+          if constexpr (std::is_same_v<T, Key>) {
+            samp = picks.wide_keys.data() + shard * wide_k;
+          } else {
+            samp = picks.wide.data() + (shards + shard) * wide_k;
+          }
+        }
+        for (std::uint32_t v = begin; v < end; ++v) {
+          for (std::uint32_t j = 0; j < k_samples; ++j) {
+            SplitMix64 stream = streams::node_stream(
+                engine.seed(), first_sample_round + j, v);
+            pick[j] = engine.sample_peer(v, stream);
+            prefetch_read(&cur[pick[j]]);
+          }
+          for (std::uint32_t j = 0; j < k_samples; ++j) {
+            samp[j] = cur[pick[j]];
+          }
+          T* const mid = samp + k_samples / 2;
+          std::nth_element(samp, mid, samp + k_samples);
+          outputs[v] = key_of(*mid);
+        }
+        local.record_messages(
+            static_cast<std::uint64_t>(k_samples) * (end - begin), bits);
+      });
+  *live = cur.data();
+  return iterations;
+}
+
+}  // namespace
+
+RuntimeResult median_dynamics(Engine& engine, std::vector<Key>& state,
+                              std::uint64_t iterations,
+                              std::uint64_t max_rounds,
+                              std::uint64_t bits_per_message) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(state.size() == n, "one key per node required");
+
+  RuntimeResult out;
+  if (iterations == 0) {
+    out.all_finished = true;
+    return out;
+  }
+  auto& picks = engine.scratch<PickScratch>();
+  picks.ensure(n);
+  const std::span<std::uint32_t> first = picks.p0.span(n);
+  const std::span<std::uint32_t> second = picks.p1.span(n);
+
+  // Representation choice: interning costs an O(n log n) sort amortised
+  // over the gather rounds it shrinks, and median dynamics runs a
+  // caller-chosen iteration count that is often tiny (the scale benches
+  // run 2-3).  Short runs — and small states, which are cache-resident
+  // anyway (EngineConfig::intern_min_nodes) — therefore stay on pooled
+  // Key buffers, where the blocked prefetch still hides the gather
+  // latency; long large runs intern.  The representation is unobservable
+  // (same draws, same commit rule, same Metrics), so the thresholds are
+  // pure tuning.
+  constexpr std::uint64_t kInternMinIterations = 8;
+  if (iterations >= kInternMinIterations &&
+      n >= engine.intern_min_nodes()) {
+    auto& lanes = engine.scratch<LaneScratch>();
+    lane_import(engine, state, lanes);
+    const std::uint32_t* live = nullptr;
+    out = median_dynamics_rounds<std::uint32_t>(
+        engine, {lanes.lane_a.data(), n}, {lanes.lane_b.data(), n}, first,
+        second, iterations, max_rounds, bits_per_message, &live);
+    lane_settle(lanes, std::span<const std::uint32_t>(live, n));
+    lane_export(engine, lanes, state);
+    return out;
+  }
+
+  auto& keys = engine.scratch<KeyPairScratch>();
+  keys.ensure(n);
+  copy_keys(engine, state, {keys.a.data(), n});
+  const Key* live = nullptr;
+  out = median_dynamics_rounds<Key>(engine, {keys.a.data(), n},
+                                    {keys.b.data(), n}, first, second,
+                                    iterations, max_rounds, bits_per_message,
+                                    &live);
+  copy_keys(engine, {live, n}, state);
   return out;
 }
 
@@ -147,55 +513,31 @@ TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
   const bool suppress_high = side == TournamentSide::kSuppressHigh;
   const std::uint64_t bits = key_bits(n);
 
-  auto& scratch = engine.scratch<KernelScratch>();
-  scratch.ensure(n);
-  std::span<Key> cur(scratch.a.data(), n);
-  std::span<Key> next(scratch.b.data(), n);
-  const std::span<std::uint32_t> first(scratch.picks0.data(), n);
-  copy_keys(engine, state, cur);
+  auto& picks = engine.scratch<PickScratch>();
+  picks.ensure(n);
+  const std::span<std::uint32_t> first = picks.p0.span(n);
+  const std::span<std::uint32_t> second = picks.p1.span(n);
 
-  for (std::size_t iter = 0; iter < out.schedule.iterations(); ++iter) {
-    const double delta = truncate_last ? out.schedule.delta[iter] : 1.0;
-
-    // Round 1: every node pulls its first sample; `cur` is the iteration
-    // snapshot and stays immutable until the commit writes `next`.
-    engine.begin_round();
-    engine.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          for (std::uint32_t v = begin; v < end; ++v) {
-            SplitMix64 stream = engine.node_stream(v);
-            first[v] = engine.sample_peer(v, stream);
-          }
-          local.record_messages(end - begin, bits);
-        });
-
-    // Round 2: the delta coin and, if it lands, the second sample; the
-    // tournament commit reads the immutable `cur` only.
-    engine.begin_round();
-    engine.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          std::uint64_t sent = 0;
-          for (std::uint32_t v = begin; v < end; ++v) {
-            SplitMix64 stream = engine.node_stream(v);
-            const bool tournament =
-                delta >= 1.0 || rand_bernoulli(stream, delta);
-            if (tournament) {
-              const std::uint32_t second = engine.sample_peer(v, stream);
-              ++sent;
-              const Key& a = cur[first[v]];
-              const Key& b = cur[second];
-              next[v] = suppress_high ? std::min(a, b) : std::max(a, b);
-            } else {
-              next[v] = cur[first[v]];
-            }
-          }
-          local.record_messages(sent, bits);
-        });
-    std::swap(cur, next);
-
-    ++out.iterations;
+  if (n >= engine.intern_min_nodes()) {
+    auto& lanes = engine.scratch<LaneScratch>();
+    lane_import(engine, state, lanes);
+    const std::uint32_t* live = nullptr;
+    out.iterations = two_tournament_rounds<std::uint32_t>(
+        engine, {lanes.lane_a.data(), n}, {lanes.lane_b.data(), n}, first,
+        second, out.schedule, truncate_last, suppress_high, bits, &live);
+    lane_settle(lanes, std::span<const std::uint32_t>(live, n));
+    lane_export(engine, lanes, state);
+    return out;
   }
-  copy_keys(engine, cur, state);
+
+  auto& keys = engine.scratch<KeyPairScratch>();
+  keys.ensure(n);
+  copy_keys(engine, state, {keys.a.data(), n});
+  const Key* live = nullptr;
+  out.iterations = two_tournament_rounds<Key>(
+      engine, {keys.a.data(), n}, {keys.b.data(), n}, first, second,
+      out.schedule, truncate_last, suppress_high, bits, &live);
+  copy_keys(engine, {live, n}, state);
   return out;
 }
 
@@ -215,70 +557,34 @@ ThreeTournamentOutcome three_tournament(Engine& engine,
   out.schedule = three_tournament_schedule(eps, n);
   const std::uint64_t bits = key_bits(n);
 
-  auto& scratch = engine.scratch<KernelScratch>();
-  scratch.ensure(n);
-  std::span<Key> cur(scratch.a.data(), n);
-  std::span<Key> next(scratch.b.data(), n);
-  const std::array<std::span<std::uint32_t>, 3> picks = {
-      std::span<std::uint32_t>(scratch.picks0.data(), n),
-      std::span<std::uint32_t>(scratch.picks1.data(), n),
-      std::span<std::uint32_t>(scratch.picks2.data(), n)};
-  copy_keys(engine, state, cur);
+  auto& picks = engine.scratch<PickScratch>();
+  picks.ensure(n);
+  const std::array<std::span<std::uint32_t>, 3> pk = {
+      picks.p0.span(n), picks.p1.span(n), picks.p2.span(n)};
 
-  for (std::size_t iter = 0; iter < out.schedule.iterations(); ++iter) {
-    // Three pulls = three rounds, all reading the iteration-start state
-    // (`cur` is immutable until the commit, which writes `next`).
-    for (int pull = 0; pull < 3; ++pull) {
-      engine.begin_round();
-      engine.parallel_shards(
-          [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-            const auto& out_picks = picks[static_cast<std::size_t>(pull)];
-            for (std::uint32_t v = begin; v < end; ++v) {
-              SplitMix64 stream = engine.node_stream(v);
-              out_picks[v] = engine.sample_peer(v, stream);
-            }
-            local.record_messages(end - begin, bits);
-            // Fuse the median commit into the last pull round: it reads
-            // only the immutable `cur` and the node's own pick slots.
-            if (pull == 2) {
-              for (std::uint32_t v = begin; v < end; ++v) {
-                next[v] = median3(cur[picks[0][v]], cur[picks[1][v]],
-                                  cur[picks[2][v]]);
-              }
-            }
-          });
-    }
-    std::swap(cur, next);
-    ++out.iterations;
+  if (n >= engine.intern_min_nodes()) {
+    auto& lanes = engine.scratch<LaneScratch>();
+    lane_import(engine, state, lanes);
+    const std::uint32_t* live = nullptr;
+    out.iterations = three_tournament_rounds<std::uint32_t>(
+        engine, picks, {lanes.lane_a.data(), n}, {lanes.lane_b.data(), n},
+        pk, out.schedule, k_samples, bits, out.outputs,
+        [&](std::uint32_t rank) { return lanes.interner.key_at(rank); },
+        &live);
+    lane_settle(lanes, std::span<const std::uint32_t>(live, n));
+    lane_export(engine, lanes, state);
+    return out;
   }
 
-  // Final step: every node samples K values and outputs their median.  The
-  // tournament state is immutable during these rounds, so the K sampling
-  // rounds fuse into one parallel section: the round counter advances K
-  // times up front, and each node derives the per-round streams directly —
-  // the same (seed, round, v) derivation the per-round kernel would use,
-  // so draws and Metrics are bit-identical while the K-pass sample matrix
-  // (n x K keys — 360 MB at n = 10^6) disappears entirely.
-  const std::uint64_t first_sample_round = engine.round() + 1;
-  for (std::uint32_t j = 0; j < k_samples; ++j) engine.begin_round();
-  out.outputs.resize(n);
-  engine.parallel_shards(
-      [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-        std::vector<Key> samp(k_samples);
-        for (std::uint32_t v = begin; v < end; ++v) {
-          for (std::uint32_t j = 0; j < k_samples; ++j) {
-            SplitMix64 stream = streams::node_stream(
-                engine.seed(), first_sample_round + j, v);
-            samp[j] = cur[engine.sample_peer(v, stream)];
-          }
-          const auto mid = samp.begin() + k_samples / 2;
-          std::nth_element(samp.begin(), mid, samp.end());
-          out.outputs[v] = *mid;
-        }
-        local.record_messages(
-            static_cast<std::uint64_t>(k_samples) * (end - begin), bits);
-      });
-  copy_keys(engine, cur, state);
+  auto& keys = engine.scratch<KeyPairScratch>();
+  keys.ensure(n);
+  copy_keys(engine, state, {keys.a.data(), n});
+  const Key* live = nullptr;
+  out.iterations = three_tournament_rounds<Key>(
+      engine, picks, {keys.a.data(), n}, {keys.b.data(), n}, pk,
+      out.schedule, k_samples, bits, out.outputs,
+      [](const Key& k) { return k; }, &live);
+  copy_keys(engine, {live, n}, state);
   return out;
 }
 
@@ -286,32 +592,44 @@ ThreeTournamentOutcome three_tournament(Engine& engine,
 
 namespace {
 
-// Engine-pooled working state of the robust kernels: state and good-flag
-// ping-pong buffers (A is the iteration-start snapshot the fan-out pulls
-// read, commits write B), per-shard sample slices for the final K-sample
-// step, a staging row for vector<bool> results (vector<bool> is bit-packed,
-// so shards cannot write it concurrently), and the coverage loop's
-// per-shard unserved counters.  The 2-/3-sample tournament iterations need
-// no per-node sample storage at all — collect and commit fuse into one
-// parallel section, so a node's good samples live in registers.
+// Engine-pooled working state of the robust kernels beyond the shared rank
+// lanes: good-flag ping-pong buffers (A is the iteration-start snapshot the
+// fan-out pulls read, commits write B), the per-shard recorded-pick and
+// K-sample slices, a staging row for vector<bool> results (vector<bool> is
+// bit-packed, so shards cannot write it concurrently), and the coverage
+// tail's lanes — source-index ping-pong plus the original-outputs snapshot
+// it indexes into (coverage only copies answers around, so a 4-byte origin
+// index carries a node's answer; the Keys materialise once in finish()).
 struct RobustScratch {
-  std::vector<Key> state_a, state_b;
-  std::vector<std::uint8_t> good_a, good_b;
-  std::vector<std::uint8_t> flags8;      // result staging row
-  std::vector<Key> final_samples;        // shards x K sample slices
+  std::vector<std::uint8_t> good_a, good_b;  // good/valid flag ping-pong
+  std::vector<std::uint8_t> flags8;          // result staging row
+  std::vector<std::uint32_t> pick_slots;     // shards x pulls recorded draws
+  std::vector<std::uint32_t> samples;        // shards x K gathered ranks
+  std::vector<std::uint32_t> cov_picks;      // shards x block coverage picks
+  std::vector<std::uint32_t> src_a, src_b;   // coverage source-index lanes
+  std::vector<Key> snapshot;                 // coverage: original outputs
   std::vector<std::int64_t> shard_unserved;
 
   void ensure(std::uint32_t n) {
-    if (state_a.size() < n) {
-      state_a.resize(n);
-      state_b.resize(n);
+    if (good_a.size() < n) {
       good_a.resize(n);
       good_b.resize(n);
       flags8.resize(n);
     }
   }
-  void ensure_final(std::size_t slots) {
-    if (final_samples.size() < slots) final_samples.resize(slots);
+  void ensure_slots(std::size_t slots) {
+    if (pick_slots.size() < slots) pick_slots.resize(slots);
+  }
+  void ensure_samples(std::size_t slots) {
+    if (samples.size() < slots) samples.resize(slots);
+  }
+  void ensure_coverage(std::uint32_t n, std::size_t cov_pick_slots) {
+    if (src_a.size() < n) {
+      src_a.resize(n);
+      src_b.resize(n);
+      snapshot.resize(n);
+    }
+    if (cov_picks.size() < cov_pick_slots) cov_picks.resize(cov_pick_slots);
   }
   void ensure_shards(std::size_t shards) {
     if (shard_unserved.size() < shards) shard_unserved.resize(shards);
@@ -326,8 +644,8 @@ struct RobustScratch {
 // node) stream directly — the same derivation the per-round loop would
 // use, so draws, failure coins, and Metrics are bit-identical while the
 // k round sweeps fuse into one parallel section per iteration.  The fold
-// per node reads only the immutable block-start snapshot (state A, good
-// A), so no scatter is involved (see robust_pipeline.hpp on why the
+// per node reads only the immutable block-start snapshot (rank lane A,
+// good A), so no scatter is involved (see robust_pipeline.hpp on why the
 // fan-out pulls are pull-shaped).
 class EngineRobustOps {
  public:
@@ -338,16 +656,17 @@ class EngineRobustOps {
         good_(good),
         n_(engine.size()),
         bits_(key_bits(n_)),
+        lanes_(engine.scratch<LaneScratch>()),
         scratch_(engine.scratch<RobustScratch>()) {
     scratch_.ensure(n_);
-    cur_ = std::span<Key>(scratch_.state_a.data(), n_);
-    next_ = std::span<Key>(scratch_.state_b.data(), n_);
+    lane_import(engine, state, lanes_);
+    cur_ = std::span<std::uint32_t>(lanes_.lane_a.data(), n_);
+    next_ = std::span<std::uint32_t>(lanes_.lane_b.data(), n_);
     g_cur_ = std::span<std::uint8_t>(scratch_.good_a.data(), n_);
     g_next_ = std::span<std::uint8_t>(scratch_.good_b.data(), n_);
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
           for (std::uint32_t v = begin; v < end; ++v) {
-            cur_[v] = state[v];
             g_cur_[v] = good[v] ? 1 : 0;
           }
         });
@@ -356,10 +675,8 @@ class EngineRobustOps {
   // Copies the carried state and good flags back to the caller's vectors
   // (sequentially for `good`: vector<bool> is bit-packed).
   void finish() {
-    engine_.parallel_shards(
-        [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
-          for (std::uint32_t v = begin; v < end; ++v) state_[v] = cur_[v];
-        });
+    lane_settle(lanes_, cur_);
+    lane_export(engine_, lanes_, state_);
     for (std::uint32_t v = 0; v < n_; ++v) good_[v] = g_cur_[v] != 0;
   }
 
@@ -373,14 +690,20 @@ class EngineRobustOps {
   // rounds plus `trailing_rounds` the caller's commit owns, e.g. the
   // 2-tournament's delta-coin round), then runs one parallel section in
   // which node v walks its pull rounds — failure coin billed, message
-  // billed on success, up to `capacity` samples collected from good peers
-  // out of the immutable block-start snapshot — and hands
-  // commit(v, samples, cnt, collecting) the result.  A node that is
-  // already bad, or already holds its `capacity` good samples, still
-  // pulls (the message is billed) but the peer draw has no observable
-  // effect, so it is skipped.  Samples stay register-resident for the
-  // tournament arities; larger capacities use a pooled per-shard slice,
-  // so the n x k sample matrix of the sequential path never materialises.
+  // billed on success — records the peers of its successful pulls, then
+  // folds up to `capacity` good samples out of the immutable block-start
+  // snapshot and hands commit(v, samples, cnt, collecting) the result.
+  //
+  // Recording-then-folding (instead of folding inside the draw loop) is
+  // what creates the prefetch window: the good-flag and rank-lane lines of
+  // the first few recorded peers go in flight while the remaining draws'
+  // ALU work runs.  It also draws peers the sequential loop skips once a
+  // node's samples are full — unobservable either way, since every draw is
+  // a pure function of (seed, round, node) and skipped draws leave no
+  // trace in results or Metrics; the *collected* samples are the first
+  // `capacity` good ones in pull-round order on both paths.  Nodes that
+  // are already bad never draw (also unobservable), but every non-failed
+  // pull is billed regardless, exactly as in the sequential path.
   template <typename Commit>
   void fanout_pull_block(std::uint32_t pulls, std::uint32_t trailing_rounds,
                          std::uint32_t capacity, Commit&& commit) {
@@ -389,23 +712,29 @@ class EngineRobustOps {
       engine_.begin_round();
     }
     constexpr std::uint32_t kInlineSamples = 3;
+    const std::uint32_t prefetch_cap = capacity + 2;
+    scratch_.ensure_slots(engine_.num_shards() *
+                          static_cast<std::size_t>(pulls));
     if (capacity > kInlineSamples) {
-      scratch_.ensure_final(engine_.num_shards() *
-                            static_cast<std::size_t>(capacity));
+      scratch_.ensure_samples(engine_.num_shards() *
+                              static_cast<std::size_t>(capacity));
     }
     engine_.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
-          Key inline_samples[kInlineSamples];
-          Key* const samp =
+          std::uint32_t* const slots =
+              scratch_.pick_slots.data() +
+              engine_.shard_of(begin) * static_cast<std::size_t>(pulls);
+          std::uint32_t inline_samples[kInlineSamples];
+          std::uint32_t* const samp =
               capacity <= kInlineSamples
                   ? inline_samples
-                  : scratch_.final_samples.data() +
+                  : scratch_.samples.data() +
                         engine_.shard_of(begin) *
                             static_cast<std::size_t>(capacity);
           std::uint64_t sent = 0;
           for (std::uint32_t v = begin; v < end; ++v) {
             const bool collecting = g_cur_[v] != 0;
-            std::uint32_t cnt = 0;
+            std::uint32_t recorded = 0;
             for (std::uint32_t r = 0; r < pulls; ++r) {
               if (streams::node_fails(engine_.seed(), base + r, v,
                                       engine_.failures())) {
@@ -413,10 +742,20 @@ class EngineRobustOps {
                 continue;
               }
               ++sent;
-              if (!collecting || cnt >= capacity) continue;
+              if (!collecting) continue;
               SplitMix64 stream =
                   streams::node_stream(engine_.seed(), base + r, v);
               const std::uint32_t p = streams::sample_peer(v, n_, stream);
+              slots[recorded] = p;
+              if (recorded < prefetch_cap) {
+                prefetch_read(&g_cur_[p]);
+                prefetch_read(&cur_[p]);
+              }
+              ++recorded;
+            }
+            std::uint32_t cnt = 0;
+            for (std::uint32_t i = 0; i < recorded && cnt < capacity; ++i) {
+              const std::uint32_t p = slots[i];
               if (g_cur_[p] != 0) samp[cnt++] = cur_[p];
             }
             commit(v, samp, cnt, collecting);
@@ -431,7 +770,7 @@ class EngineRobustOps {
     const std::uint64_t commit_round = engine_.round() + 1 + pulls;
     fanout_pull_block(
         pulls, /*trailing_rounds=*/1, /*capacity=*/2,
-        [&](std::uint32_t v, const Key* samp, std::uint32_t cnt,
+        [&](std::uint32_t v, const std::uint32_t* samp, std::uint32_t cnt,
             bool collecting) {
           if (!collecting || cnt < 2) {
             next_[v] = cur_[v];
@@ -453,7 +792,7 @@ class EngineRobustOps {
   void three_iteration(std::uint32_t pulls) {
     fanout_pull_block(
         pulls, /*trailing_rounds=*/0, /*capacity=*/3,
-        [&](std::uint32_t v, const Key* samp, std::uint32_t cnt,
+        [&](std::uint32_t v, const std::uint32_t* samp, std::uint32_t cnt,
             bool collecting) {
           if (!collecting || cnt < 3) {
             next_[v] = cur_[v];
@@ -474,14 +813,15 @@ class EngineRobustOps {
     outputs.assign(n_, Key::infinite());
     fanout_pull_block(
         final_pulls, /*trailing_rounds=*/0, /*capacity=*/k,
-        [&](std::uint32_t v, Key* samp, std::uint32_t cnt, bool collecting) {
+        [&](std::uint32_t v, std::uint32_t* samp, std::uint32_t cnt,
+            bool collecting) {
           if (!collecting || cnt < k) {
             valid8[v] = 0;
             return;
           }
-          Key* const mid = samp + k / 2;
+          std::uint32_t* const mid = samp + k / 2;
           std::nth_element(samp, mid, samp + k);
-          outputs[v] = *mid;
+          outputs[v] = lanes_.interner.key_at(*mid);
           valid8[v] = 1;
         });
     valid.resize(n_);
@@ -494,15 +834,19 @@ class EngineRobustOps {
   std::vector<bool>& good_;
   std::uint32_t n_;
   std::uint64_t bits_;
+  LaneScratch& lanes_;
   RobustScratch& scratch_;
-  std::span<Key> cur_, next_;
+  std::span<std::uint32_t> cur_, next_;
   std::span<std::uint8_t> g_cur_, g_next_;
 };
 
-// The batched coverage tail: outputs/valid ping-pong through the pooled
-// buffers (the sequential path re-copies both arrays every round), and the
-// early-exit check reads per-shard unserved counters maintained by each
-// round's commit instead of scanning all n flags.
+// The batched coverage tail on compact lanes: a node's carried answer is
+// represented by the index of the node that originated it (coverage only
+// copies answers, so propagating the 4-byte origin index is equivalent),
+// valid flags ping-pong through the pooled byte rows, and the early-exit
+// check reads per-shard unserved counters maintained by each round's
+// commit instead of scanning all n flags.  The answer Keys materialise
+// once in finish() from the pooled snapshot of the original outputs.
 class EngineCoverageOps {
  public:
   EngineCoverageOps(Engine& engine, std::vector<Key>& outputs,
@@ -512,20 +856,25 @@ class EngineCoverageOps {
         valid_(valid),
         n_(engine.size()),
         bits_(key_bits(n_)),
+        block_(std::min(engine.gather_block(), engine.config().shard_size)),
         scratch_(engine.scratch<RobustScratch>()) {
     scratch_.ensure(n_);
     scratch_.ensure_shards(engine.num_shards());
-    cur_ = std::span<Key>(scratch_.state_a.data(), n_);
-    next_ = std::span<Key>(scratch_.state_b.data(), n_);
+    scratch_.ensure_coverage(
+        n_, engine.num_shards() * static_cast<std::size_t>(block_));
+    src_cur_ = std::span<std::uint32_t>(scratch_.src_a.data(), n_);
+    src_next_ = std::span<std::uint32_t>(scratch_.src_b.data(), n_);
     v_cur_ = std::span<std::uint8_t>(scratch_.good_a.data(), n_);
     v_next_ = std::span<std::uint8_t>(scratch_.good_b.data(), n_);
+    snapshot_ = std::span<Key>(scratch_.snapshot.data(), n_);
     unserved_ = std::span<std::int64_t>(scratch_.shard_unserved.data(),
                                         engine.num_shards());
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
           std::int64_t open = 0;
           for (std::uint32_t v = begin; v < end; ++v) {
-            cur_[v] = outputs[v];
+            snapshot_[v] = outputs[v];
+            src_cur_[v] = v;
             const bool served = valid[v];
             v_cur_[v] = served ? 1 : 0;
             open += served ? 0 : 1;
@@ -537,7 +886,12 @@ class EngineCoverageOps {
   void finish() {
     engine_.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
-          for (std::uint32_t v = begin; v < end; ++v) outputs_[v] = cur_[v];
+          for (std::uint32_t v = begin; v < end; ++v) {
+            if (v + kPrefetchAhead < end) {
+              prefetch_read(&snapshot_[src_cur_[v + kPrefetchAhead]]);
+            }
+            outputs_[v] = snapshot_[src_cur_[v]];
+          }
         });
     for (std::uint32_t v = 0; v < n_; ++v) valid_[v] = v_cur_[v] != 0;
   }
@@ -552,35 +906,63 @@ class EngineCoverageOps {
     engine_.begin_round();
     engine_.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          // Pick sentinel: a node's own id means "already served" (a peer
+          // draw never returns the drawing node), kNoPeer means "failed".
+          std::uint32_t* const picks =
+              scratch_.cov_picks.data() +
+              engine_.shard_of(begin) * static_cast<std::size_t>(block_);
           std::uint64_t sent = 0;
           std::int64_t open = 0;
-          for (std::uint32_t v = begin; v < end; ++v) {
-            next_[v] = cur_[v];
-            if (v_cur_[v] != 0) {
-              v_next_[v] = 1;
-              continue;
+          for (std::uint32_t b0 = begin; b0 < end; b0 += block_) {
+            const std::uint32_t b1 = std::min(b0 + block_, end);
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              if (v_cur_[v] != 0) {
+                picks[v - b0] = v;
+                continue;
+              }
+              if (engine_.node_fails(v)) {
+                ++local.failed_operations;
+                picks[v - b0] = Engine::kNoPeer;
+                continue;
+              }
+              SplitMix64 stream = engine_.node_stream(v);
+              picks[v - b0] = engine_.sample_peer(v, stream);
+              ++sent;
             }
-            if (engine_.node_fails(v)) {
-              ++local.failed_operations;
-              v_next_[v] = 0;
-              ++open;
-              continue;
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              const std::uint32_t p = picks[v - b0];
+              if (p != v && p != Engine::kNoPeer) {
+                prefetch_read(&v_cur_[p]);
+                prefetch_read(&src_cur_[p]);
+              }
             }
-            SplitMix64 stream = engine_.node_stream(v);
-            const std::uint32_t p = engine_.sample_peer(v, stream);
-            ++sent;
-            if (v_cur_[p] != 0) {
-              next_[v] = cur_[p];
-              v_next_[v] = 1;
-            } else {
-              v_next_[v] = 0;
-              ++open;
+            for (std::uint32_t v = b0; v < b1; ++v) {
+              const std::uint32_t p = picks[v - b0];
+              if (p == v) {  // already served: carry the answer forward
+                src_next_[v] = src_cur_[v];
+                v_next_[v] = 1;
+                continue;
+              }
+              if (p == Engine::kNoPeer) {  // failed this round
+                src_next_[v] = src_cur_[v];
+                v_next_[v] = 0;
+                ++open;
+                continue;
+              }
+              if (v_cur_[p] != 0) {
+                src_next_[v] = src_cur_[p];
+                v_next_[v] = 1;
+              } else {
+                src_next_[v] = src_cur_[v];
+                v_next_[v] = 0;
+                ++open;
+              }
             }
           }
           unserved_[engine_.shard_of(begin)] = open;
           local.record_messages(sent, bits_);
         });
-    std::swap(cur_, next_);
+    std::swap(src_cur_, src_next_);
     std::swap(v_cur_, v_next_);
   }
 
@@ -590,9 +972,11 @@ class EngineCoverageOps {
   std::vector<bool>& valid_;
   std::uint32_t n_;
   std::uint64_t bits_;
+  std::uint32_t block_;
   RobustScratch& scratch_;
-  std::span<Key> cur_, next_;
+  std::span<std::uint32_t> src_cur_, src_next_;
   std::span<std::uint8_t> v_cur_, v_next_;
+  std::span<Key> snapshot_;
   std::span<std::int64_t> unserved_;
 };
 

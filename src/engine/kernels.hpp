@@ -1,14 +1,29 @@
 // Batched whole-algorithm kernels on the parallel Engine.
 //
 // These run the core/ algorithms as sharded round kernels over contiguous
-// engine-pooled key state: no virtual dispatch, no per-node allocation,
-// one to three parallel sections per gossip round.  State lives in two
-// ping-pong Key buffers — commits read buffer A and write buffer B, so A
-// doubles as the iteration-start snapshot with no copy, and each random
-// peer read touches one cache line.  Each kernel is **bit-identical** to
-// its sequential counterpart — same per-node draw order from the
-// counter-based streams, same commit rule, same Metrics — which the
-// engine test suite pins at 1, 2, and 8 threads:
+// engine-pooled state: no virtual dispatch, no per-node allocation, one to
+// three parallel sections per gossip round.  State lives in two ping-pong
+// lanes of 32-bit *interned key ranks* (sim/key_intern.hpp): the state's
+// distinct keys are interned into a sorted table once per kernel — reused
+// across the consecutive kernels of one pipeline via an exactly-verified
+// session — and commits read lane A / write lane B, so A doubles as the
+// iteration-start snapshot with no copy.  Rank order is key order, so
+// min/max/median commits decide identically while a random peer gather
+// touches a 4-byte entry (16 per cache line) instead of a Key record.
+//
+// Hot loops are *blocked*: for each block of EngineConfig::gather_block
+// nodes a round first materialises the block's peer picks into pooled
+// index lanes (per-node draw order unchanged), issues software prefetches
+// over the peer lane lines, then runs the compute pass against warm lines
+// — turning the latency-bound random gather into a prefetchable stream.
+// Round accounting stays O(shards): messages are counted in per-shard
+// register accumulators and flushed once per parallel section via
+// Metrics::record_messages.
+//
+// Each kernel is **bit-identical** to its sequential counterpart — same
+// per-node draw order from the counter-based streams, same commit rule,
+// same Metrics, at every gather_block value — which the engine test suite
+// pins at 1, 2, and 8 threads:
 //
 //   * median_dynamics         == MedianDynamicsProtocol via run_protocols
 //   * two_tournament          == core/two_tournament (Algorithm 1)
@@ -31,9 +46,12 @@
 // block-start snapshot — one parallel section per iteration instead of
 // k round sweeps, with the n x k sample matrix of the sequential path
 // replaced by three pooled per-node sample slots (per-shard slices for the
-// final K-sample step).  Good flags and sample state live in
-// Engine::scratch, so steady-state robust rounds allocate nothing
-// (tests/test_engine_alloc.cpp).
+// final K-sample step).  A node records the peers of its successful pulls
+// first — prefetching the first few peers' good-flag and rank-lane lines
+// while the remaining draws' ALU work runs — then folds them in pull-round
+// order, which collects exactly the sequential path's samples.  Good
+// flags, rank lanes, and pick slices live in Engine::scratch, so
+// steady-state robust rounds allocate nothing (tests/test_engine_alloc.cpp).
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,7 @@
 #include "engine/kernels.hpp"
 #include "engine/scatter.hpp"
 #include "engine/token_store.hpp"
+#include "util/prefetch.hpp"
 #include "util/require.hpp"
 #include "workload/tiebreak.hpp"
 
@@ -94,8 +95,15 @@ GenericSpreadResult<T> engine_spread_best(Engine& engine,
     ++out.rounds;
     engine.parallel_shards(
         [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+          constexpr std::uint32_t kAhead = 16;
           std::uint8_t flag = 1;
           for (std::uint32_t v = begin; v < end; ++v) {
+            // The peer lane is already materialised (pull_round filled it),
+            // so a simple lookahead prefetch hides the random gather.
+            if (v + kAhead < end) {
+              const std::uint32_t ahead = peers[v + kAhead];
+              if (ahead != Engine::kNoPeer) prefetch_read(&cur[ahead]);
+            }
             const std::uint32_t p = peers[v];
             next[v] = (p != Engine::kNoPeer && less(cur[v], cur[p])) ? cur[p]
                                                                      : cur[v];
@@ -195,7 +203,7 @@ MultiPushSumResult<D> engine_push_sum_average_multi(
           }
           local.record_messages(sent, bits);
         });
-    scatter.deliver(
+    scatter.deliver_prefetch(
         engine,
         [&](std::uint32_t first, std::uint32_t last) {
           for (std::uint32_t v = first; v < last; ++v) {
@@ -214,7 +222,10 @@ MultiPushSumResult<D> engine_push_sum_average_multi(
             }
             state[v].w += inflow[v].w;
           }
-        });
+        },
+        // The fold's one random-indexed access: the destination's inflow
+        // Pair.  Issued a few records ahead by the delivery walk.
+        [&](std::uint32_t dest) { prefetch_read(&inflow[dest]); });
   }
 
   MultiPushSumResult<D> out;
@@ -462,7 +473,13 @@ TokenSplitResult token_split_distribute(Engine& engine,
   // Delivery fold of both phases: append in ascending sender order (the
   // sequential order) and roll the incremental counters forward.  A
   // delivered heavy token raises its destination's heavy counts; a second
-  // token on a node makes that node crowded.
+  // token on a node makes that node crowded.  The fold's random-indexed
+  // lines (the destination's token slots and heavy count) are prefetched a
+  // few records ahead by the delivery walk.
+  const auto touch_token_dest = [&](std::uint32_t dest) {
+    held.prefetch_node(dest);
+    prefetch_read(&heavy_node[dest]);
+  };
   const auto append_token = [&](std::uint32_t dest, const Token& t) {
     const std::uint32_t before = held.size(dest);
     held.push_back(dest, t);
@@ -523,7 +540,7 @@ TokenSplitResult token_split_distribute(Engine& engine,
                                       std::memory_order_relaxed);
           local.record_messages(sent, bits);
         });
-    scatter.deliver(engine, append_token);
+    scatter.deliver_prefetch(engine, append_token, touch_token_dest);
   }
 
   // Phase B: scatter weight-1 tokens until every node holds at most one.
@@ -564,7 +581,7 @@ TokenSplitResult token_split_distribute(Engine& engine,
                                         std::memory_order_relaxed);
           local.record_messages(sent, bits);
         });
-    scatter.deliver(engine, append_token);
+    scatter.deliver_prefetch(engine, append_token, touch_token_dest);
   }
 
   out.instance.assign(n, Key::infinite());

@@ -177,13 +177,33 @@ class Mailboxes {
 
   // Applies fn(record) to every record addressed to partition p, mailbox
   // rows in shard order — i.e. ascending sender order per destination.
+  // The plain walk is the touch-variant with a no-op hint (which the
+  // compiler deletes), so there is exactly ONE copy of the record
+  // iteration order.
   template <typename Fn>
   void for_each_in_partition(std::size_t p, Fn&& fn) {
+    for_each_in_partition(p, std::forward<Fn>(fn), [](const Record&) {});
+  }
+
+  // Like the plain walk, but calls touch(record) kLookahead records ahead
+  // of fn(record).  The record stream itself is sequential (the hardware
+  // prefetcher handles it); what stalls the fold is the random-indexed
+  // per-destination accumulator line, whose address only the caller can
+  // compute — touch is where it issues the software prefetch.  Purely a
+  // timing hint: fn still runs over every record in the same order.
+  template <typename Fn, typename Touch>
+  void for_each_in_partition(std::size_t p, Fn&& fn, Touch&& touch) {
+    constexpr std::size_t kLookahead = 8;
     for (std::size_t row = 0; row < layout_.rows; ++row) {
       const ScatterArena::Box& b = box(row, p);
       const Record* r = records(b);
       const std::size_t m = count(b);
-      for (std::size_t i = 0; i < m; ++i) fn(r[i]);
+      const std::size_t head = std::min(kLookahead, m);
+      for (std::size_t i = 0; i < head; ++i) touch(r[i]);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (i + kLookahead < m) touch(r[i + kLookahead]);
+        fn(r[i]);
+      }
     }
   }
 
@@ -247,13 +267,13 @@ class Scatter {
   // Applies fold(dest, payload) for every queued record, partitions in
   // parallel, per-destination in ascending sender order.  fold must write
   // only destination-indexed state (destinations of distinct partitions are
-  // disjoint by construction).
+  // disjoint by construction).  Every deliver flavour forwards into the
+  // full deliver_prefetch form (no-op stages compile away), so the
+  // delivery walk exists exactly once.
   template <typename Fold>
   void deliver(Engine& engine, Fold&& fold) {
-    engine.pool().run(layout_.partitions, [&](std::size_t p) {
-      boxes_.for_each_in_partition(
-          p, [&](const Record& r) { fold(r.dest, r.payload); });
-    });
+    deliver_prefetch(engine, std::forward<Fold>(fold),
+                     [](std::uint32_t) {});
   }
 
   // Like deliver, but runs prologue(first, last) over the partition's
@@ -261,12 +281,10 @@ class Scatter {
   // per-destination accumulators while the range is cache-resident.
   template <typename Prologue, typename Fold>
   void deliver(Engine& engine, Prologue&& prologue, Fold&& fold) {
-    engine.pool().run(layout_.partitions, [&](std::size_t p) {
-      const auto [first, last] = layout_.partition_range(p);
-      prologue(first, last);
-      boxes_.for_each_in_partition(
-          p, [&](const Record& r) { fold(r.dest, r.payload); });
-    });
+    deliver_prefetch(engine, std::forward<Prologue>(prologue),
+                     std::forward<Fold>(fold),
+                     [](std::uint32_t, std::uint32_t) {},
+                     [](std::uint32_t) {});
   }
 
   // Full-round form: prologue(first, last), the fold, then
@@ -278,11 +296,34 @@ class Scatter {
   template <typename Prologue, typename Fold, typename Epilogue>
   void deliver(Engine& engine, Prologue&& prologue, Fold&& fold,
                Epilogue&& epilogue) {
+    deliver_prefetch(engine, std::forward<Prologue>(prologue),
+                     std::forward<Fold>(fold),
+                     std::forward<Epilogue>(epilogue), [](std::uint32_t) {});
+  }
+
+  // deliver() with a destination prefetch hint: touch(dest) is called a few
+  // records ahead of fold(dest, payload), so the fold's random-indexed
+  // accumulator line is already in flight when the record is applied.  The
+  // hint must have no observable effect (issue prefetches, nothing else);
+  // fold order and results are exactly those of deliver().
+  template <typename Fold, typename Touch>
+  void deliver_prefetch(Engine& engine, Fold&& fold, Touch&& touch) {
+    deliver_prefetch(engine, [](std::uint32_t, std::uint32_t) {},
+                     std::forward<Fold>(fold),
+                     [](std::uint32_t, std::uint32_t) {},
+                     std::forward<Touch>(touch));
+  }
+
+  template <typename Prologue, typename Fold, typename Epilogue,
+            typename Touch>
+  void deliver_prefetch(Engine& engine, Prologue&& prologue, Fold&& fold,
+                        Epilogue&& epilogue, Touch&& touch) {
     engine.pool().run(layout_.partitions, [&](std::size_t p) {
       const auto [first, last] = layout_.partition_range(p);
       prologue(first, last);
       boxes_.for_each_in_partition(
-          p, [&](const Record& r) { fold(r.dest, r.payload); });
+          p, [&](const Record& r) { fold(r.dest, r.payload); },
+          [&](const Record& r) { touch(r.dest); });
       epilogue(first, last);
     });
   }

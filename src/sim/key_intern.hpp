@@ -1,0 +1,82 @@
+// Order-preserving key interning: the compact-lane representation behind
+// the engine's tournament kernels.
+//
+// A tournament/median-dynamics round never creates key values — it only
+// copies and compares them — so the whole evolving state is a multiset over
+// the distinct keys of the *initial* state.  Interning builds the sorted
+// dictionary of those distinct keys once and replaces every state entry by
+// its 32-bit rank.  Because the map rank -> key is strictly increasing,
+// rank comparisons decide exactly as key comparisons do: min / max /
+// median-of-three / nth_element over ranks commit the same values the
+// Key-typed kernels would, bit for bit.  What changes is purely the memory
+// traffic: a random peer gather touches a 4-byte lane entry instead of a
+// Key-sized record, so one cache line now serves 16 peers instead of 2 —
+// the difference between a latency-bound pointer chase and a prefetchable
+// stream at n = 10^6..10^7.
+//
+// Duplicates are fine (the exact pipeline's instances carry many identical
+// Key::infinite() entries): equal keys share a rank, and since equal keys
+// are interchangeable everywhere the protocols compare them, collapsing
+// them is unobservable.
+//
+// All buffers are pooled: a warmed-up interner's intern() performs no heap
+// allocation, which the engine's steady-state allocation tests rely on
+// (kernels hold their interner in Engine::scratch).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/key.hpp"
+#include "util/require.hpp"
+
+namespace gq {
+
+class KeyInterner {
+ public:
+  // Builds the dictionary for `keys` and writes ranks[v] = the rank of
+  // keys[v] in the sorted distinct-key table.  O(n log n) once per interned
+  // state — amortised over the dozens of gather rounds the compact lanes
+  // then serve.
+  void intern(std::span<const Key> keys, std::span<std::uint32_t> ranks) {
+    GQ_REQUIRE(keys.size() == ranks.size(),
+               "one rank slot per interned key required");
+    const std::size_t n = keys.size();
+    if (sort_buf_.size() < n) sort_buf_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      sort_buf_[v] = Entry{keys[v], static_cast<std::uint32_t>(v)};
+    }
+    std::sort(sort_buf_.begin(), sort_buf_.begin() + static_cast<std::ptrdiff_t>(n),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    table_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (table_.empty() || table_.back() != sort_buf_[i].key) {
+        table_.push_back(sort_buf_[i].key);
+      }
+      ranks[sort_buf_[i].node] =
+          static_cast<std::uint32_t>(table_.size() - 1);
+    }
+  }
+
+  // The sorted distinct-key dictionary of the last intern() call.
+  [[nodiscard]] std::span<const Key> table() const noexcept {
+    return {table_.data(), table_.size()};
+  }
+
+  [[nodiscard]] const Key& key_at(std::uint32_t rank) const noexcept {
+    return table_[rank];
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::uint32_t node;
+  };
+
+  std::vector<Entry> sort_buf_;
+  std::vector<Key> table_;
+};
+
+}  // namespace gq

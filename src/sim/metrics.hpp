@@ -79,6 +79,17 @@ struct Metrics {
     size_counts.clear();
   }
 
+  // True iff every counter is zero.  The engine's per-section merge skips
+  // empty shard accumulators on this test; skipping is observationally
+  // identical to merging (every field is a sum or a max, and merging zeros
+  // changes nothing), it just keeps the O(shards) per-section accounting
+  // from touching size tables that recorded no traffic.
+  [[nodiscard]] bool empty() const noexcept {
+    return rounds == 0 && messages == 0 && message_bits == 0 &&
+           max_message_bits == 0 && failed_operations == 0 &&
+           size_counts.empty();
+  }
+
   void record_message(std::uint64_t bits) { record_messages(1, bits); }
 
   // Bulk update: `count` messages of `bits` bits each, O(#distinct sizes)

@@ -1,0 +1,29 @@
+// Software-prefetch shim for the engine's blocked-gather hot loops.
+//
+// The batched kernels are bound by random-access gathers into n-sized state
+// lanes: at n in the millions every peer read is a cold cache line, and a
+// naive load-use loop pays the full memory latency per draw.  The kernels
+// therefore materialise a block's peer indices first, issue prefetches over
+// the target lines, and run the compute pass against warm lines — turning a
+// latency-bound pointer chase into a bandwidth-bound stream.  This header
+// is the one place the compiler intrinsic is spelled, so a non-GNU port has
+// a single line to patch.
+//
+// Prefetching is advisory: dropping every call changes nothing observable
+// (results, Metrics, transcripts), only wall-clock time.
+#pragma once
+
+namespace gq {
+
+// Hints that `p` will be read soon.  Safe on any address value — prefetch
+// instructions do not fault — but callers should still pass in-bounds
+// addresses (forming a wild pointer is UB even unread).
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace gq

@@ -529,17 +529,28 @@ TEST(EnginePipelines, ApproxQuantileMatchesCore) {
     const ApproxQuantileResult seq = approx_quantile(net, values, params);
 
     for (unsigned threads : kThreadCounts) {
-      Engine engine(kN, kSeed, FailureModel{}, config_for(threads));
-      const ApproxQuantileResult par = approx_quantile(engine, values, params);
-      EXPECT_EQ(par.outputs, seq.outputs)
-          << "threads=" << threads << " phi=" << phi;
-      EXPECT_EQ(par.valid, seq.valid);
-      EXPECT_EQ(par.phase1_iterations, seq.phase1_iterations);
-      EXPECT_EQ(par.phase2_iterations, seq.phase2_iterations);
-      EXPECT_EQ(par.rounds, seq.rounds);
-      EXPECT_EQ(par.used_exact_fallback, seq.used_exact_fallback);
-      EXPECT_EQ(engine.metrics(), net.metrics())
-          << "threads=" << threads << " phi=" << phi;
+      // Both state representations (interned lanes with cross-kernel
+      // session reuse at intern_min 1, pooled Key buffers at the default
+      // threshold) must be unobservable at the pipeline level too.
+      for (const std::uint32_t intern_min : {1u, 0u}) {
+        Engine engine(kN, kSeed, FailureModel{},
+                      EngineConfig{.threads = threads,
+                                   .shard_size = 192,
+                                   .intern_min_nodes = intern_min});
+        const ApproxQuantileResult par =
+            approx_quantile(engine, values, params);
+        EXPECT_EQ(par.outputs, seq.outputs)
+            << "threads=" << threads << " phi=" << phi
+            << " intern_min=" << intern_min;
+        EXPECT_EQ(par.valid, seq.valid);
+        EXPECT_EQ(par.phase1_iterations, seq.phase1_iterations);
+        EXPECT_EQ(par.phase2_iterations, seq.phase2_iterations);
+        EXPECT_EQ(par.rounds, seq.rounds);
+        EXPECT_EQ(par.used_exact_fallback, seq.used_exact_fallback);
+        EXPECT_EQ(engine.metrics(), net.metrics())
+            << "threads=" << threads << " phi=" << phi
+            << " intern_min=" << intern_min;
+      }
     }
   }
 }
@@ -719,6 +730,203 @@ TEST(Scatter, NestedScatterFallsBackToPrivateStorage) {
   for (std::uint32_t v = 0; v < kN; ++v) {
     EXPECT_EQ(from_outer[(v + 1) % kN], v);
     EXPECT_EQ(from_inner[(v + 2) % kN], v + 1000);
+  }
+}
+
+// Gather block size is a pure performance knob: every rewritten kernel's
+// blocked-gather transcript (states, outcome structs, Metrics) must match
+// the sequential Network path at every block size — degenerate one-node
+// blocks, blocks that straddle shard boundaries, and blocks larger than
+// any shard — at 1, 2, and 8 threads.
+TEST(EngineKernels, GatherBlockSweepMatchesCoreForEveryKernel) {
+  constexpr std::uint32_t kN = 3001;  // not a multiple of the shard size
+  constexpr std::uint64_t kSeed = 131;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 47));
+
+  Network net_two(kN, kSeed);
+  std::vector<Key> seq_two_state(keys.begin(), keys.end());
+  const auto seq_two = two_tournament(net_two, seq_two_state, 0.3, 0.1);
+
+  Network net_three(kN, kSeed);
+  std::vector<Key> seq_three_state(keys.begin(), keys.end());
+  const auto seq_three = three_tournament(net_three, seq_three_state, 0.1);
+
+  for (unsigned threads : kThreadCounts) {
+    for (const std::uint32_t block : {1u, 7u, 64u, 1u << 20}) {
+      // intern_min_nodes 1 forces the interned-rank lanes, the default
+      // (kN < 2^16) the pooled Key buffers: both representations must
+      // reproduce the sequential transcript at every block size.
+      for (const std::uint32_t intern_min : {1u, 0u}) {
+        EngineConfig cfg{.threads = threads,
+                         .shard_size = 192,
+                         .gather_block = block,
+                         .intern_min_nodes = intern_min};
+        {
+          Engine engine(kN, kSeed, FailureModel{}, cfg);
+          std::vector<Key> state(keys.begin(), keys.end());
+          const auto par = two_tournament(engine, state, 0.3, 0.1);
+          EXPECT_EQ(par.iterations, seq_two.iterations);
+          EXPECT_EQ(state, seq_two_state)
+              << "threads=" << threads << " block=" << block
+              << " intern_min=" << intern_min;
+          EXPECT_EQ(engine.metrics(), net_two.metrics())
+              << "threads=" << threads << " block=" << block
+              << " intern_min=" << intern_min;
+        }
+        {
+          Engine engine(kN, kSeed, FailureModel{}, cfg);
+          std::vector<Key> state(keys.begin(), keys.end());
+          const auto par = three_tournament(engine, state, 0.1);
+          EXPECT_EQ(par.iterations, seq_three.iterations);
+          EXPECT_EQ(par.outputs, seq_three.outputs)
+              << "threads=" << threads << " block=" << block
+              << " intern_min=" << intern_min;
+          EXPECT_EQ(state, seq_three_state)
+              << "threads=" << threads << " block=" << block
+              << " intern_min=" << intern_min;
+          EXPECT_EQ(engine.metrics(), net_three.metrics())
+              << "threads=" << threads << " block=" << block
+              << " intern_min=" << intern_min;
+        }
+      }
+    }
+  }
+}
+
+// Same sweep for median dynamics under a failure model, where the blocked
+// commit must handle kNoPeer picks (failed pulls) in both gather slots.
+// 3 iterations run the short-run Key-buffer representation, 8 the interned
+// lanes (see the threshold in median_dynamics); both must reproduce the
+// sequential protocol path exactly.
+TEST(EngineKernels, MedianDynamicsBlockSweepUnderFailures) {
+  constexpr std::uint32_t kN = 2048;
+  constexpr std::uint64_t kSeed = 137;
+  const auto keys =
+      make_keys(generate_values(Distribution::kGaussian, kN, 51));
+  const std::uint64_t bits = KeyCodec(kN).encoded_bits();
+  const FailureModel fm = FailureModel::uniform(0.25);
+
+  for (const std::uint64_t iterations : {std::uint64_t{3},
+                                         std::uint64_t{8}}) {
+    Network net(kN, kSeed, fm);
+    auto protos = make_median_protocols(keys, iterations);
+    const RuntimeResult seq = run_protocols(net, protos, 1000, bits);
+    const std::vector<Key> seq_states = protocol_states(protos);
+
+    for (unsigned threads : kThreadCounts) {
+      for (const std::uint32_t block : {3u, 256u}) {
+        // intern_min_nodes = 1 lets the iteration count alone choose the
+        // representation here: 3 iterations run Key buffers, 8 the lanes.
+        Engine engine(kN, kSeed, fm,
+                      EngineConfig{.threads = threads,
+                                   .shard_size = 192,
+                                   .gather_block = block,
+                                   .intern_min_nodes = 1});
+        std::vector<Key> state(keys.begin(), keys.end());
+        const RuntimeResult ker =
+            median_dynamics(engine, state, iterations, 1000, bits);
+        EXPECT_EQ(ker.rounds, seq.rounds);
+        EXPECT_EQ(state, seq_states) << "threads=" << threads
+                                     << " block=" << block
+                                     << " iterations=" << iterations;
+        EXPECT_EQ(engine.metrics(), net.metrics())
+            << "threads=" << threads << " block=" << block
+            << " iterations=" << iterations;
+      }
+    }
+  }
+}
+
+// Oversized final sampling (K above the kernels' stack-buffer bound, 64)
+// routes the per-shard pick/sample slices through the pooled wide lanes —
+// for both state representations — and must stay bit-identical.
+TEST(EngineKernels, ThreeTournamentOversizedFinalSampleMatchesCore) {
+  constexpr std::uint32_t kN = 1024;
+  constexpr std::uint64_t kSeed = 151;
+  constexpr std::uint32_t kBigK = 101;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 61));
+
+  Network net(kN, kSeed);
+  std::vector<Key> seq_state(keys.begin(), keys.end());
+  const auto seq = three_tournament(net, seq_state, 0.1, kBigK);
+
+  for (unsigned threads : {1u, 8u}) {
+    for (const std::uint32_t intern_min : {1u, 0u}) {
+      Engine engine(kN, kSeed, FailureModel{},
+                    EngineConfig{.threads = threads,
+                                 .shard_size = 192,
+                                 .intern_min_nodes = intern_min});
+      std::vector<Key> state(keys.begin(), keys.end());
+      const auto par = three_tournament(engine, state, 0.1, kBigK);
+      EXPECT_EQ(par.outputs, seq.outputs)
+          << "threads=" << threads << " intern_min=" << intern_min;
+      EXPECT_EQ(state, seq_state)
+          << "threads=" << threads << " intern_min=" << intern_min;
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " intern_min=" << intern_min;
+    }
+  }
+}
+
+// Consecutive kernels on one engine share an interned-lane session; the
+// reuse check is an exact compare pass, so mutating the state vector
+// between calls — even to a key outside the interned table — must trigger
+// a re-intern, never serve stale lanes.
+TEST(EngineKernels, InternedSessionDetectsStateMutationBetweenCalls) {
+  constexpr std::uint32_t kN = 1024;
+  constexpr std::uint64_t kSeed = 139;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 53));
+  const Key foreign{-123.25, 99999, 7};  // not in the original key set
+
+  Network net(kN, kSeed);
+  std::vector<Key> seq_state(keys.begin(), keys.end());
+  (void)two_tournament(net, seq_state, 0.4, 0.1);
+  seq_state[17] = foreign;
+  const auto seq_out = three_tournament(net, seq_state, 0.1);
+
+  for (unsigned threads : kThreadCounts) {
+    // intern_min_nodes = 1 forces the interned lanes (the session under
+    // test) at this small n.
+    Engine engine(kN, kSeed, FailureModel{},
+                  EngineConfig{.threads = threads,
+                               .shard_size = 192,
+                               .intern_min_nodes = 1});
+    std::vector<Key> state(keys.begin(), keys.end());
+    (void)two_tournament(engine, state, 0.4, 0.1);
+    state[17] = foreign;  // invalidate the session behind the engine's back
+    const auto par_out = three_tournament(engine, state, 0.1);
+    EXPECT_EQ(par_out.outputs, seq_out.outputs) << "threads=" << threads;
+    EXPECT_EQ(state, seq_state) << "threads=" << threads;
+    EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
+  }
+}
+
+// Opt-in worker pinning is a placement policy, never an observable one:
+// results and Metrics must be bit-identical with and without it, and a
+// pinned engine must work on any machine (pinning failures degrade to a
+// warning, not an error).
+TEST(Engine, PinWorkersIsObservableNeutral) {
+  constexpr std::uint32_t kN = 1500;
+  constexpr std::uint64_t kSeed = 149;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 59));
+
+  Network net(kN, kSeed);
+  std::vector<Key> seq_state(keys.begin(), keys.end());
+  (void)two_tournament(net, seq_state, 0.5, 0.1);
+
+  for (unsigned threads : kThreadCounts) {
+    Engine engine(kN, kSeed, FailureModel{},
+                  EngineConfig{.threads = threads,
+                               .shard_size = 192,
+                               .pin_workers = true});
+    std::vector<Key> state(keys.begin(), keys.end());
+    (void)two_tournament(engine, state, 0.5, 0.1);
+    EXPECT_EQ(state, seq_state) << "threads=" << threads;
+    EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "core/approx_quantile.hpp"
@@ -301,6 +302,103 @@ TEST(EngineRobustPipelinesFallback, OwnRankUnderFailuresMatchesCore) {
     EXPECT_EQ(par.rounds, seq.rounds);
     EXPECT_EQ(engine.metrics(), net.metrics()) << "threads=" << threads;
   }
+}
+
+// Gather block size must be observable-neutral for the robust kernels too:
+// the recorded-pick fan-out fold and the blocked coverage rounds must
+// reproduce the sequential transcript at degenerate and oversized blocks.
+TEST(EngineRobustKernels, GatherBlockSweepMatchesCore) {
+  constexpr std::uint32_t kN = 1535;
+  constexpr std::uint64_t kSeed = 647;
+  const auto keys =
+      make_keys(generate_values(Distribution::kUniformReal, kN, 79));
+  const FailureModel fm = FailureModel::uniform(0.3);
+
+  Network net(kN, kSeed, fm);
+  std::vector<Key> seq_state(keys.begin(), keys.end());
+  std::vector<bool> seq_good(kN, true);
+  (void)robust_two_tournament(net, seq_state, seq_good, 0.4, 0.2);
+  auto seq_p2 = robust_three_tournament(net, seq_state, seq_good, 0.1, 15);
+  const std::uint64_t seq_rounds =
+      robust_coverage(net, seq_p2.outputs, seq_p2.valid, 10);
+
+  for (unsigned threads : {1u, 8u}) {
+    for (const std::uint32_t block : {1u, 64u, 1u << 20}) {
+      Engine engine(kN, kSeed, fm,
+                    EngineConfig{.threads = threads,
+                                 .shard_size = 192,
+                                 .gather_block = block});
+      std::vector<Key> state(keys.begin(), keys.end());
+      std::vector<bool> good(kN, true);
+      (void)robust_two_tournament(engine, state, good, 0.4, 0.2);
+      auto p2 = robust_three_tournament(engine, state, good, 0.1, 15);
+      const std::uint64_t rounds =
+          robust_coverage(engine, p2.outputs, p2.valid, 10);
+      EXPECT_EQ(rounds, seq_rounds)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(p2.outputs, seq_p2.outputs)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(p2.valid, seq_p2.valid)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(state, seq_state)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(good, seq_good)
+          << "threads=" << threads << " block=" << block;
+      EXPECT_EQ(engine.metrics(), net.metrics())
+          << "threads=" << threads << " block=" << block;
+    }
+  }
+}
+
+// The small-n heavy-failure endgame abort is a typed, recoverable error:
+// the scenario the ExactFallbackUnderFailuresMatchesCore comment documents
+// (this input at mu = 0.3) makes the count-based selection endgame
+// mis-count on BOTH executors.  Both must throw ExactPipelineError — not a
+// bare runtime_error, not a wrong answer — and both must remain usable
+// afterwards (the abort is a per-run property, not engine corruption).
+TEST(EngineRobustPipelinesFallback, ExactEndgameAbortIsTypedOnBothExecutors) {
+  constexpr std::uint32_t kN = 1024;
+  constexpr std::uint64_t kSeed = 619;
+  const auto values = generate_values(Distribution::kGaussian, kN, 61);
+  const FailureModel fm = FailureModel::uniform(0.3);
+
+  ApproxQuantileParams params;
+  params.phi = 0.5;
+  params.eps = 0.05;  // below eps_tournament_floor(1024): exact fallback
+
+  ExactPipelineError::Kind seq_kind{};
+  {
+    Network net(kN, kSeed, fm);
+    try {
+      (void)approx_quantile(net, values, params);
+      FAIL() << "sequential run was expected to abort";
+    } catch (const ExactPipelineError& e) {
+      seq_kind = e.kind();
+    }
+    // Recoverable: the same Network still executes rounds afterwards.
+    const std::uint64_t before = net.metrics().rounds;
+    (void)net.pull_round(32);
+    EXPECT_EQ(net.metrics().rounds, before + 1);
+  }
+
+  for (unsigned threads : kThreadCounts) {
+    Engine engine(kN, kSeed, fm, config_for(threads));
+    try {
+      (void)approx_quantile(engine, values, params);
+      FAIL() << "engine run was expected to abort (threads=" << threads
+             << ")";
+    } catch (const ExactPipelineError& e) {
+      EXPECT_EQ(e.kind(), seq_kind) << "threads=" << threads;
+    }
+    const std::uint64_t before = engine.metrics().rounds;
+    (void)engine.pull_round(32);
+    EXPECT_EQ(engine.metrics().rounds, before + 1);
+  }
+
+  // Back-compat: the typed error still lands in runtime_error catch sites.
+  Network net(kN, kSeed, fm);
+  EXPECT_THROW((void)approx_quantile(net, values, params),
+               std::runtime_error);
 }
 
 // ---- properties -----------------------------------------------------------
