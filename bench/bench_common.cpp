@@ -235,11 +235,17 @@ JsonArtifact::~JsonArtifact() {
         "    {\"bench\": \"%s\", \"label\": \"%s\", \"pipeline\": \"%s\", "
         "\"executor\": \"%s\", \"n\": %llu, \"threads\": %u, "
         "\"rounds\": %llu, \"seconds\": %.6f, \"seq_seconds\": %.6f, "
-        "\"speedup_vs_sequential\": %.4f}%s\n",
+        "\"speedup_vs_sequential\": %.4f",
         r.bench.c_str(), label_.c_str(), r.pipeline.c_str(),
         r.executor.c_str(), static_cast<unsigned long long>(r.n), r.threads,
         static_cast<unsigned long long>(r.rounds), r.seconds, r.seq_seconds,
-        speedup, i + 1 < records_.size() ? "," : "");
+        speedup);
+    // Throughput fields only appear on throughput rows, so the committed
+    // latency trajectory keeps its exact byte shape.
+    if (r.higher_is_better) {
+      std::fprintf(f, ", \"qps\": %.2f, \"higher_is_better\": true", r.qps);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -92,12 +92,19 @@ void print_header(const std::string& id, const std::string& title,
 struct PerfRecord {
   std::string bench;     // emitting binary, e.g. "bench_pipeline_scale"
   std::string pipeline;  // workload name
-  std::string executor;  // "network" | "engine"
+  std::string executor;  // "network" | "engine" | "service"
   std::uint64_t n = 0;
   unsigned threads = 1;
   std::uint64_t rounds = 0;
   double seconds = 0.0;
   double seq_seconds = 0.0;  // sequential reference for this (pipeline, n)
+
+  // Throughput records (the service layer's service_qps rows): `qps` is the
+  // measured rate and `higher_is_better` flips the regression direction in
+  // scripts/bench_diff.  Latency records leave both at their defaults and
+  // their JSON shape is unchanged.
+  double qps = 0.0;
+  bool higher_is_better = false;
 };
 
 // Collects PerfRecords and writes them as a BENCH_engine.json fragment when

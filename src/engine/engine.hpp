@@ -136,6 +136,20 @@ class Engine {
   // Theta(log n)-bit default message budget, as Network::default_message_bits.
   [[nodiscard]] std::uint64_t default_message_bits() const noexcept;
 
+  // Session reuse hook for long-lived callers (src/service/): rebases the
+  // deterministic randomness onto a fresh (seed, round = 0) stream.  Because
+  // every draw is a pure function of (seed, round, node), a warm engine
+  // re-runs any pipeline after reset_stream(s) **bit-identically** to a cold
+  // Engine(n, s) — while the thread pool, scatter arena, and pooled scratch
+  // (all observationally neutral) stay warm, which is the point of keeping
+  // the engine alive between queries.  Metrics keep accumulating across
+  // resets (service-lifetime accounting); callers wanting per-query deltas
+  // snapshot metrics() around the call.
+  void reset_stream(std::uint64_t seed) noexcept {
+    seed_ = seed;
+    round_ = 0;
+  }
+
   // ---- sharded execution -----------------------------------------------
 
   // The extension point every batched kernel is built on: runs

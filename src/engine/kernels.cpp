@@ -1019,4 +1019,17 @@ std::uint64_t robust_coverage(Engine& engine, std::vector<Key>& outputs,
   return rounds;
 }
 
+void adopt_intern_session(Engine& engine, std::span<const Key> table,
+                          std::span<const std::uint32_t> lanes) {
+  GQ_REQUIRE(lanes.size() == engine.size(),
+             "adopted session needs one lane entry per node");
+  const auto n = static_cast<std::uint32_t>(lanes.size());
+  LaneScratch& s = engine.scratch<LaneScratch>();
+  s.ensure(n, engine.num_shards());
+  s.interner.adopt(table);
+  std::copy(lanes.begin(), lanes.end(), s.lane_a.begin());
+  s.session = true;
+  s.session_n = n;
+}
+
 }  // namespace gq

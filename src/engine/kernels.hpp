@@ -55,6 +55,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/robust_pipeline.hpp"
@@ -105,5 +106,20 @@ RobustThreeTournamentOutcome robust_three_tournament(
 // consumed; see core/robust.hpp.
 std::uint64_t robust_coverage(Engine& engine, std::vector<Key>& outputs,
                               std::vector<bool>& valid, std::uint32_t t);
+
+// Session reuse hook for long-lived callers (src/service/): seeds the
+// kernels' interned session with an externally maintained encoding of the
+// state the caller is about to run a pipeline on — `table` sorted distinct
+// (a superset of the state's distinct keys is fine), `lanes[v]` the table
+// rank of node v's key.  The next kernel's existing exact verify pass
+// (state[v] == table[lanes[v]]) then hits and the O(n log n) intern sort is
+// skipped; a caller handing over a stale or wrong encoding just fails the
+// verify and pays a fresh intern, never a wrong answer.  Only the interned
+// representation consults the session (n >= EngineConfig::intern_min_nodes;
+// below it the kernels run on pooled Key buffers), and a kernel that
+// mutates the key multiset mid-pipeline (the exact pipeline's duplication
+// step) re-interns exactly as it would cold.
+void adopt_intern_session(Engine& engine, std::span<const Key> table,
+                          std::span<const std::uint32_t> lanes);
 
 }  // namespace gq

@@ -1,0 +1,59 @@
+// Per-node ingest state: an append-only value stream held as a bounded
+// mergeable summary (sketch/summary.hpp) plus the exact stream cardinality.
+//
+// The summary type is a template parameter constrained by QuantileSummary,
+// so alternative summaries (a CKMS/GK sketch, a plain CompactingBuffer
+// hierarchy) can slot in without touching the service; the service's
+// concrete instantiation is KllSketch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "sim/key.hpp"
+#include "sketch/summary.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+
+template <QuantileSummary S>
+class NodeStream {
+ public:
+  // `seed` drives the summary's internal randomness; the stream's state is
+  // a pure function of (seed, ingest sequence).
+  explicit NodeStream(std::size_t sketch_k, std::uint64_t seed)
+      : summary_(sketch_k, seed) {}
+
+  void ingest(double value) {
+    // Ingested values are tie-broken by their position in THIS node's
+    // stream, so equal values from one stream stay distinct inside the
+    // summary (the cross-node distinctness the protocols need is
+    // re-established by the epoch instance builder, which re-ids keys by
+    // contributor slot).
+    summary_.insert(Key{value, static_cast<std::uint32_t>(ingested_ &
+                                                          0xffffffffu),
+                        0});
+    ++ingested_;
+  }
+
+  void ingest(std::span<const double> values) {
+    for (const double v : values) ingest(v);
+  }
+
+  // The stream's local phi-quantile per its summary.
+  [[nodiscard]] Key local_quantile(double phi) const {
+    return summary_.quantile(phi);
+  }
+
+  [[nodiscard]] const S& summary() const noexcept { return summary_; }
+  [[nodiscard]] std::uint64_t ingested() const noexcept { return ingested_; }
+  [[nodiscard]] bool empty() const noexcept { return ingested_ == 0; }
+  [[nodiscard]] std::size_t space() const noexcept { return summary_.space(); }
+
+ private:
+  S summary_;
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace gq

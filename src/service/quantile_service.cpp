@@ -1,0 +1,319 @@
+#include "service/quantile_service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "engine/kernels.hpp"
+#include "engine/pipelines.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+namespace {
+
+// Disjoint sub-seed spaces off the master seed, so node summaries, query
+// streams, and the resample merge can never collide.
+constexpr std::uint64_t kSummaryStream = 0x5eed0001;
+constexpr std::uint64_t kQueryStream = 0x5eed0002;
+constexpr std::uint64_t kMergeStream = 0x5eed0003;
+
+// A probe value's threshold key: compares >= every instance key holding the
+// same value, so count_le counts exactly the keys with key.value <= probe.
+constexpr Key probe_key(double value) {
+  return Key{value, std::numeric_limits<std::uint32_t>::max(),
+             std::numeric_limits<std::uint64_t>::max()};
+}
+
+}  // namespace
+
+QuantileService::QuantileService(std::uint32_t initial_nodes,
+                                 ServiceConfig config)
+    : cfg_(std::move(config)) {
+  GQ_REQUIRE(cfg_.local_phi >= 0.0 && cfg_.local_phi <= 1.0,
+             "local_phi must lie in [0,1]");
+  GQ_REQUIRE(cfg_.session_compact_factor >= 1,
+             "session_compact_factor must be at least 1");
+  streams_.reserve(initial_nodes);
+  for (std::uint32_t i = 0; i < initial_nodes; ++i) (void)join();
+}
+
+QuantileService::~QuantileService() = default;
+
+std::uint32_t QuantileService::join() {
+  const auto id = static_cast<std::uint32_t>(streams_.size());
+  streams_.push_back(std::make_unique<Stream>(
+      cfg_.sketch_k, derive_seed(derive_seed(cfg_.seed, kSummaryStream), id)));
+  ++live_;
+  dirty_ = true;
+  return id;
+}
+
+void QuantileService::leave(std::uint32_t node) {
+  (void)live_stream(node);  // validates live
+  streams_[node].reset();
+  --live_;
+  dirty_ = true;
+}
+
+QuantileService::Stream& QuantileService::live_stream(std::uint32_t node) {
+  GQ_REQUIRE(node < streams_.size() && streams_[node] != nullptr,
+             "unknown or departed node id");
+  return *streams_[node];
+}
+
+void QuantileService::ingest(std::uint32_t node, double value) {
+  live_stream(node).ingest(value);
+  ++ingested_;
+  dirty_ = true;
+}
+
+void QuantileService::ingest(std::uint32_t node,
+                             std::span<const double> values) {
+  live_stream(node).ingest(values);
+  ingested_ += values.size();
+  dirty_ = true;
+}
+
+void QuantileService::build_instance() {
+  const auto m = static_cast<std::uint32_t>(contributors_.size());
+  instance_.resize(m);
+  switch (cfg_.instance_policy) {
+    case InstancePolicy::kLocalQuantile:
+      // Every contributor derives its representative from its own summary;
+      // re-id by contributor slot restores cross-node distinctness.
+      for (std::uint32_t i = 0; i < m; ++i) {
+        const Key local =
+            streams_[contributors_[i]]->local_quantile(cfg_.local_phi);
+        instance_[i] = Key{local.value, i, 0};
+      }
+      return;
+    case InstancePolicy::kGlobalResample: {
+      // Merge all summaries (ascending contributor order, fixed seed — a
+      // pure function of the stream states) and deal the instance as the
+      // merged distribution's m-point equi-depth resample.
+      KllSketch merged(cfg_.sketch_k, derive_seed(cfg_.seed, kMergeStream));
+      for (const std::uint32_t id : contributors_) {
+        merged.merge(streams_[id]->summary());
+      }
+      for (std::uint32_t i = 0; i < m; ++i) {
+        const double phi = (static_cast<double>(i) + 0.5) / m;
+        instance_[i] = Key{merged.quantile(phi).value, i, 0};
+      }
+      return;
+    }
+  }
+  GQ_REQUIRE(false, "unknown instance policy");
+}
+
+std::uint64_t QuantileService::seal() {
+  if (!dirty_ && engine_ != nullptr) return epoch_;
+  contributors_.clear();
+  for (std::uint32_t id = 0; id < streams_.size(); ++id) {
+    if (streams_[id] != nullptr && !streams_[id]->empty()) {
+      contributors_.push_back(id);
+    }
+  }
+  const auto m = static_cast<std::uint32_t>(contributors_.size());
+  GQ_REQUIRE(m >= 2, "sealing an epoch needs >= 2 nodes holding data");
+  build_instance();
+  // Membership-size changes re-shard: shard geometry is fixed per Engine,
+  // so a new m gets a new engine (thread pool and arenas respawn once per
+  // churn event, not per query).
+  if (engine_ == nullptr || engine_->size() != m) {
+    engine_ = std::make_unique<Engine>(m, cfg_.seed, cfg_.failures,
+                                       cfg_.engine);
+    ++engine_rebuilds_;
+  }
+  session_.update(instance_, cfg_.session_compact_factor);
+  dirty_ = false;
+  return ++epoch_;
+}
+
+std::uint64_t QuantileService::next_query_seed(const QueryRequest& request) {
+  if (request.seed != 0) return request.seed;
+  return derive_seed(derive_seed(cfg_.seed, kQueryStream), ++query_seq_);
+}
+
+void QuantileService::prepare_engine(std::uint64_t seed) {
+  // Rebase the stream so this query is bit-identical to a cold
+  // Engine(m, seed) run, then hand the kernels the session encoding so
+  // their verify pass skips the per-query intern sort.
+  engine_->reset_stream(seed);
+  adopt_intern_session(*engine_, session_.table(), session_.lanes());
+}
+
+QueryReply QuantileService::query(const QueryRequest& request) {
+  (void)seal();  // implicit ingest->query barrier; no-op when clean
+  const std::uint64_t seed = next_query_seed(request);
+  prepare_engine(seed);
+  QueryReply reply;
+  switch (request.kind) {
+    case QueryKind::kQuantile:
+      reply = run_quantile(request, seed);
+      break;
+    case QueryKind::kExactQuantile:
+      reply = run_exact(request, seed);
+      break;
+    case QueryKind::kRank:
+      reply = run_rank(request, seed);
+      break;
+    case QueryKind::kCdf:
+      reply = run_cdf(request, seed);
+      break;
+  }
+  reply.epoch = epoch_;
+  reply.seed = seed;
+  reply.nodes = static_cast<std::uint32_t>(instance_.size());
+  ++queries_;
+  return reply;
+}
+
+std::vector<QueryReply> QuantileService::query_batch(
+    std::span<const QueryRequest> requests) {
+  // One barrier for the whole batch: every reply observes the same epoch,
+  // and the warm session/engine serve all of them back to back.
+  (void)seal();
+  std::vector<QueryReply> replies;
+  replies.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    replies.push_back(query(request));
+  }
+  return replies;
+}
+
+QueryReply QuantileService::run_quantile(const QueryRequest& request,
+                                         std::uint64_t /*seed*/) {
+  ApproxQuantileParams params = cfg_.approx;
+  params.phi = request.phi;
+  if (request.eps > 0.0) params.eps = request.eps;
+  const ApproxQuantileResult res =
+      approx_quantile_keys(*engine_, instance_, params);
+  QueryReply reply;
+  reply.kind = QueryKind::kQuantile;
+  reply.phi = request.phi;
+  for (std::size_t v = 0; v < res.valid.size(); ++v) {
+    if (res.valid[v]) {
+      reply.answer = res.outputs[v];
+      break;
+    }
+  }
+  reply.value = reply.answer.value;
+  reply.rounds = res.rounds;
+  reply.served = static_cast<std::uint32_t>(res.served_nodes());
+  reply.used_exact_fallback = res.used_exact_fallback;
+  reply.transcript_hash = transcript_hash(res.outputs, res.valid);
+  return reply;
+}
+
+QueryReply QuantileService::run_exact(const QueryRequest& request,
+                                      std::uint64_t /*seed*/) {
+  ExactQuantileParams params = cfg_.exact;
+  params.phi = request.phi;
+  const ExactQuantileResult res =
+      exact_quantile_keys(*engine_, instance_, params);
+  QueryReply reply;
+  reply.kind = QueryKind::kExactQuantile;
+  reply.phi = request.phi;
+  reply.answer = res.answer;
+  reply.value = res.answer.value;
+  reply.rounds = res.rounds;
+  std::uint32_t served = 0;
+  for (const bool b : res.valid) served += b ? 1 : 0;
+  reply.served = served;
+  reply.transcript_hash = transcript_hash(res.outputs, res.valid);
+  return reply;
+}
+
+QueryReply QuantileService::run_rank(const QueryRequest& request,
+                                     std::uint64_t /*seed*/) {
+  session_.indicator_le(probe_key(request.value), indicator_a_);
+  const CountResult res = gossip_count(*engine_, indicator_a_);
+  QueryReply reply;
+  reply.kind = QueryKind::kRank;
+  reply.count = res.counts[0];
+  reply.fraction = static_cast<double>(reply.count) /
+                   static_cast<double>(instance_.size());
+  reply.rounds = res.rounds;
+  reply.served = static_cast<std::uint32_t>(instance_.size());
+  reply.transcript_hash =
+      transcript_hash_counts({res.counts.data(), res.counts.size()});
+  return reply;
+}
+
+QueryReply QuantileService::run_cdf(const QueryRequest& request,
+                                    std::uint64_t /*seed*/) {
+  const std::size_t points = request.cdf_points.size();
+  GQ_REQUIRE(points > 0, "kCdf needs at least one probe point");
+  QueryReply reply;
+  reply.kind = QueryKind::kCdf;
+  reply.cdf_counts.reserve(points);
+  std::uint64_t hash_acc = 0;
+  // Three probes share one diffusion (gossip_count3); a two-probe tail
+  // duplicates its last indicator (the duplicate diffuses for free in the
+  // same shared-weight run), a one-probe tail runs the plain count.
+  for (std::size_t p = 0; p < points;) {
+    const std::size_t left = points - p;
+    if (left == 1) {
+      session_.indicator_le(probe_key(request.cdf_points[p]), indicator_a_);
+      const CountResult res = gossip_count(*engine_, indicator_a_);
+      reply.cdf_counts.push_back(res.counts[0]);
+      reply.rounds += res.rounds;
+      hash_acc ^= transcript_hash_counts({res.counts.data(),
+                                          res.counts.size()});
+      p += 1;
+      continue;
+    }
+    session_.indicator_le(probe_key(request.cdf_points[p]), indicator_a_);
+    session_.indicator_le(probe_key(request.cdf_points[p + 1]), indicator_b_);
+    const bool full = left >= 3;
+    session_.indicator_le(probe_key(request.cdf_points[full ? p + 2 : p + 1]),
+                          indicator_c_);
+    const TripleCountResult res =
+        gossip_count3(*engine_, indicator_a_, indicator_b_, indicator_c_);
+    reply.cdf_counts.push_back(res.a[0]);
+    reply.cdf_counts.push_back(res.b[0]);
+    if (full) reply.cdf_counts.push_back(res.c[0]);
+    reply.rounds += res.rounds;
+    hash_acc ^= transcript_hash_counts({res.a.data(), res.a.size()});
+    hash_acc ^= transcript_hash_counts({res.b.data(), res.b.size()});
+    if (full) hash_acc ^= transcript_hash_counts({res.c.data(), res.c.size()});
+    p += full ? 3 : 2;
+  }
+  const double m = static_cast<double>(instance_.size());
+  reply.cdf.reserve(points);
+  for (const std::uint64_t c : reply.cdf_counts) {
+    reply.cdf.push_back(static_cast<double>(c) / m);
+  }
+  reply.served = static_cast<std::uint32_t>(instance_.size());
+  reply.transcript_hash = hash_acc;
+  return reply;
+}
+
+std::span<const Key> QuantileService::epoch_keys() const {
+  GQ_REQUIRE(epoch_ > 0, "no epoch sealed yet");
+  return {instance_.data(), instance_.size()};
+}
+
+ServiceStats QuantileService::stats() const {
+  ServiceStats s;
+  s.epoch = epoch_;
+  s.queries = queries_;
+  s.ingested = ingested_;
+  s.live_nodes = live_;
+  s.contributing_nodes = static_cast<std::uint32_t>(contributors_.size());
+  for (const auto& stream : streams_) {
+    if (stream != nullptr) {
+      s.max_node_items = std::max(s.max_node_items, stream->space());
+    }
+  }
+  s.session_table_keys = session_.table().size();
+  s.session_rebuilds = session_.rebuilds();
+  s.session_extends = session_.extends();
+  s.session_reuse_hits = session_.reuse_hits();
+  s.engine_rebuilds = engine_rebuilds_;
+  s.gossip_rounds = engine_ != nullptr ? engine_->metrics().rounds : 0;
+  return s;
+}
+
+}  // namespace gq

@@ -1,0 +1,150 @@
+// QuantileService: the long-lived streaming serving layer over the gossip
+// engine.
+//
+// Every pipeline below this layer is one-shot — keys in, one answer out,
+// state discarded.  The service turns that into continuous serving:
+//
+//   ingest --------> per-node NodeStream (bounded KLL summary, O(k) items)
+//   seal (epoch) --> one-key-per-node instance (InstancePolicy)
+//                      -> EpochSession (persistent interned table + lanes,
+//                         extended incrementally, engine hand-off)
+//   query ---------> Engine pipelines re-run on demand over the sealed
+//                    instance (approx/exact tournaments, exact gossip
+//                    counting for rank/CDF), warm across queries
+//
+// ## Epoch barrier
+//
+// Ingest and churn accumulate against the *open* epoch; queries only ever
+// observe a *sealed* one.  The first query after any mutation seals
+// implicitly (or call seal() for an explicit barrier); all queries of one
+// query_batch observe the same epoch.  Within an epoch, queries are
+// repeatable: the instance, session, and membership are frozen.
+//
+// ## Determinism and warm == cold
+//
+// A service's entire life is a pure function of (config, call log).  Each
+// query runs the engine on its own derived stream seed after
+// Engine::reset_stream, so a warm-session query is **bit-identical** to a
+// cold one-shot run of the same pipeline on a fresh Engine(m, seed) over
+// the same instance — at 1, 2, and 8 threads and any shard/block size —
+// which tests/test_service.cpp pins via reply fingerprints.  What the warm
+// session reuses (thread pool, scatter arena, pooled kernel scratch, the
+// adopted intern session) is exactly the observationally-neutral state.
+//
+// ## Churn
+//
+// join()/leave() change membership between epochs; the next seal re-shards
+// the session: contributors are renumbered 0..m-1 in ascending node-id
+// order, the instance is rebuilt over them, and the engine is reconstructed
+// when m changed (shard geometry is fixed per Engine).  A join/leave
+// sequence converging to the same per-node streams answers pinned-seed
+// queries identically to a fresh service built on that membership.
+//
+// ## Errors
+//
+// kExactQuantile propagates ExactPipelineError (recoverable — the service
+// and its engine stay usable; see core/result.hpp).  Structural misuse
+// (unknown node ids, ingest into departed nodes, queries with fewer than
+// two contributing nodes) throws std::invalid_argument via GQ_REQUIRE.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "service/node_stream.hpp"
+#include "service/query.hpp"
+#include "service/service_config.hpp"
+#include "service/session.hpp"
+#include "sketch/kll.hpp"
+
+namespace gq {
+
+// Service-lifetime counters (cheap snapshot, see QuantileService::stats).
+struct ServiceStats {
+  std::uint64_t epoch = 0;             // sealed epochs so far
+  std::uint64_t queries = 0;           // queries answered
+  std::uint64_t ingested = 0;          // values ingested service-wide
+  std::uint32_t live_nodes = 0;        // joined minus departed
+  std::uint32_t contributing_nodes = 0;  // live with data (last seal)
+  std::size_t max_node_items = 0;      // max per-node summary space
+  std::size_t session_table_keys = 0;  // interned table size
+  std::uint64_t session_rebuilds = 0;  // full intern sorts paid
+  std::uint64_t session_extends = 0;   // incremental table merges paid
+  std::uint64_t session_reuse_hits = 0;  // seals with zero new keys
+  std::uint64_t engine_rebuilds = 0;   // membership-change reconstructions
+  std::uint64_t gossip_rounds = 0;     // engine rounds across all queries
+};
+
+class QuantileService {
+ public:
+  using Stream = NodeStream<KllSketch>;
+
+  explicit QuantileService(std::uint32_t initial_nodes,
+                           ServiceConfig config = ServiceConfig{});
+  ~QuantileService();
+
+  // ---- membership and ingest (mutations against the open epoch) ---------
+
+  // Adds a node and returns its id (ids are stable handles, never reused).
+  std::uint32_t join();
+  void leave(std::uint32_t node);
+
+  void ingest(std::uint32_t node, double value);
+  void ingest(std::uint32_t node, std::span<const double> values);
+
+  // ---- epoch barrier -----------------------------------------------------
+
+  // Seals the open epoch (no-op when nothing changed): freezes membership,
+  // rebuilds the instance, updates the interned session, re-shards the
+  // engine if membership size changed.  Returns the sealed epoch number.
+  std::uint64_t seal();
+
+  // ---- queries (always observe the latest sealed epoch) ------------------
+
+  [[nodiscard]] QueryReply query(const QueryRequest& request);
+  [[nodiscard]] std::vector<QueryReply> query_batch(
+      std::span<const QueryRequest> requests);
+
+  // ---- observability -----------------------------------------------------
+
+  // The sealed instance (key i belongs to contributor slot i).  Valid until
+  // the next seal; requires at least one seal.
+  [[nodiscard]] std::span<const Key> epoch_keys() const;
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint32_t live_nodes() const noexcept { return live_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  [[nodiscard]] Stream& live_stream(std::uint32_t node);
+  void build_instance();
+  [[nodiscard]] std::uint64_t next_query_seed(const QueryRequest& request);
+  void prepare_engine(std::uint64_t seed);
+
+  QueryReply run_quantile(const QueryRequest& request, std::uint64_t seed);
+  QueryReply run_exact(const QueryRequest& request, std::uint64_t seed);
+  QueryReply run_rank(const QueryRequest& request, std::uint64_t seed);
+  QueryReply run_cdf(const QueryRequest& request, std::uint64_t seed);
+
+  ServiceConfig cfg_;
+  // Index = node id; departed nodes leave a null slot (ids stay stable).
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::uint32_t live_ = 0;
+  std::vector<std::uint32_t> contributors_;  // node ids, last seal
+  std::vector<Key> instance_;                // one key per contributor
+  EpochSession session_;
+  std::unique_ptr<Engine> engine_;
+  bool dirty_ = true;        // open-epoch mutations pending
+  std::uint64_t epoch_ = 0;  // sealed epoch counter
+  std::uint64_t query_seq_ = 0;
+  std::uint64_t queries_ = 0;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t engine_rebuilds_ = 0;
+  std::vector<bool> indicator_a_, indicator_b_, indicator_c_;  // rank scratch
+};
+
+}  // namespace gq

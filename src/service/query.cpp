@@ -1,0 +1,39 @@
+#include "service/query.hpp"
+
+#include <bit>
+
+namespace gq {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t transcript_hash(std::span<const Key> outputs,
+                              const std::vector<bool>& valid) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t v = 0; v < outputs.size(); ++v) {
+    h = fnv_mix(h, std::bit_cast<std::uint64_t>(outputs[v].value));
+    h = fnv_mix(h, outputs[v].id);
+    h = fnv_mix(h, outputs[v].tag);
+    h = fnv_mix(h, v < valid.size() && valid[v] ? 1u : 0u);
+  }
+  return h;
+}
+
+std::uint64_t transcript_hash_counts(std::span<const std::uint64_t> counts) {
+  std::uint64_t h = kFnvOffset;
+  for (const std::uint64_t c : counts) h = fnv_mix(h, c);
+  return h;
+}
+
+}  // namespace gq

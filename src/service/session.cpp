@@ -1,0 +1,55 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace gq {
+
+void EpochSession::update(std::span<const Key> instance,
+                          std::uint32_t compact_factor) {
+  const std::size_t m = instance.size();
+  lanes_.resize(m);
+  const std::span<std::uint32_t> lanes(lanes_.data(), m);
+
+  // Compact once staleness dominates: the table may lawfully hold retired
+  // keys, but past `compact_factor` times the instance size the binary-
+  // search depth and memory are paying for dead weight.
+  const bool oversized =
+      interner_.table().size() > static_cast<std::size_t>(compact_factor) * m;
+  if (warm_ && !oversized) {
+    // Keys this epoch introduced: anything not already in the table.  The
+    // common steady-state epoch (a few nodes ingested, a few
+    // representatives moved) makes this a short list; a quiet epoch makes
+    // it empty.
+    added_.clear();
+    const std::span<const Key> table = interner_.table();
+    for (const Key& k : instance) {
+      if (!std::binary_search(table.begin(), table.end(), k)) {
+        added_.push_back(k);
+      }
+    }
+    interner_.extend(added_, instance, lanes);
+    if (added_.empty()) {
+      ++reuse_hits_;
+    } else {
+      ++extends_;
+    }
+    return;
+  }
+  interner_.intern(instance, lanes);
+  warm_ = true;
+  ++rebuilds_;
+}
+
+void EpochSession::indicator_le(const Key& probe,
+                                std::vector<bool>& indicator) const {
+  GQ_REQUIRE(warm_, "indicator_le needs an updated session");
+  const std::uint32_t bound = interner_.count_le(probe);
+  indicator.assign(lanes_.size(), false);
+  for (std::size_t v = 0; v < lanes_.size(); ++v) {
+    indicator[v] = lanes_[v] < bound;
+  }
+}
+
+}  // namespace gq

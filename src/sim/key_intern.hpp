@@ -22,6 +22,15 @@
 // All buffers are pooled: a warmed-up interner's intern() performs no heap
 // allocation, which the engine's steady-state allocation tests rely on
 // (kernels hold their interner in Engine::scratch).
+//
+// Long-lived sessions (src/service/) additionally use extend(): instead of
+// re-sorting all n keys when an epoch appends a few new distinct keys, the
+// newly appeared keys are merged into the existing sorted table and every
+// lane is re-ranked by binary search — O(a log a + n log d) against
+// intern()'s O(n log n) sort.  The table is then allowed to be a *superset*
+// of the state's distinct keys: rank order is still key order and every
+// state key still maps through the table, so protocols decide and
+// materialise identically; only the (unobserved) rank values differ.
 #pragma once
 
 #include <algorithm>
@@ -60,6 +69,72 @@ class KeyInterner {
     }
   }
 
+  // Incremental session extension: merges `added` (any multiset; duplicates
+  // and keys already in the table are fine) into the sorted dictionary, then
+  // writes ranks[v] for every keys[v] by binary search.  Bit-identical rank
+  // semantics to intern() — rank order is table order — except that keys
+  // retired from the state stay in the table as harmless stale entries
+  // (see the header comment).  Every keys[v] must be findable, i.e. present
+  // in the old table or in `added`.  O(a log a + d + n log d).
+  void extend(std::span<const Key> added, std::span<const Key> keys,
+              std::span<std::uint32_t> ranks) {
+    GQ_REQUIRE(keys.size() == ranks.size(),
+               "one rank slot per interned key required");
+    if (add_buf_.size() < added.size()) add_buf_.resize(added.size());
+    std::copy(added.begin(), added.end(), add_buf_.begin());
+    const auto add_end =
+        add_buf_.begin() + static_cast<std::ptrdiff_t>(added.size());
+    std::sort(add_buf_.begin(), add_end);
+    // Set-union merge of two sorted ranges into the pooled merge buffer;
+    // both inputs may carry duplicates of each other.
+    merge_buf_.clear();
+    merge_buf_.reserve(table_.size() + added.size());
+    auto t = table_.begin();
+    auto a = add_buf_.begin();
+    while (t != table_.end() || a != add_end) {
+      const Key* next = nullptr;
+      if (a == add_end || (t != table_.end() && *t <= *a)) {
+        next = &*t++;
+      } else {
+        next = &*a++;
+      }
+      if (merge_buf_.empty() || merge_buf_.back() != *next) {
+        merge_buf_.push_back(*next);
+      }
+    }
+    table_.swap(merge_buf_);
+    for (std::size_t v = 0; v < keys.size(); ++v) {
+      ranks[v] = rank_of(keys[v]);
+    }
+  }
+
+  // Replaces the dictionary with an externally maintained sorted table
+  // (the engine-side half of a session hand-off; see
+  // engine/kernels.hpp: adopt_intern_session).
+  void adopt(std::span<const Key> table) {
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      GQ_REQUIRE(table[i - 1] < table[i],
+                 "adopted intern table must be sorted and distinct");
+    }
+    table_.assign(table.begin(), table.end());
+  }
+
+  // Rank of a key that is present in the table.
+  [[nodiscard]] std::uint32_t rank_of(const Key& key) const {
+    const auto it = std::lower_bound(table_.begin(), table_.end(), key);
+    GQ_REQUIRE(it != table_.end() && *it == key,
+               "rank_of: key missing from the interned table");
+    return static_cast<std::uint32_t>(it - table_.begin());
+  }
+
+  // Number of table keys <= z: with state held as rank lanes, the
+  // state-level indicator keys[v] <= z is exactly lane[v] < count_le(z) —
+  // one integer compare per node against a single binary search.
+  [[nodiscard]] std::uint32_t count_le(const Key& z) const noexcept {
+    return static_cast<std::uint32_t>(
+        std::upper_bound(table_.begin(), table_.end(), z) - table_.begin());
+  }
+
   // The sorted distinct-key dictionary of the last intern() call.
   [[nodiscard]] std::span<const Key> table() const noexcept {
     return {table_.data(), table_.size()};
@@ -77,6 +152,7 @@ class KeyInterner {
 
   std::vector<Entry> sort_buf_;
   std::vector<Key> table_;
+  std::vector<Key> add_buf_, merge_buf_;  // extend() scratch
 };
 
 }  // namespace gq

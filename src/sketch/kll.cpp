@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sketch/summary.hpp"
 #include "util/require.hpp"
 
 namespace gq {
+
+// KLL is the service layer's default per-node summary; keep it honest
+// against the mergeable-summary contract it is consumed through.
+static_assert(QuantileSummary<KllSketch>);
 
 KllSketch::KllSketch(std::size_t k, std::uint64_t seed)
     : k_(k), rng_(derive_seed(seed, 0x6b11)) {

@@ -1,0 +1,44 @@
+// The mergeable quantile-summary interface: what a per-node stream state
+// must provide for the service layer (src/service/) to bound per-node
+// memory while still answering rank and quantile questions about the
+// stream.
+//
+// The contract mirrors the standard mergeable-summary semantics (Agarwal
+// et al., "Mergeable Summaries"):
+//   * insert(key)   — absorb one stream item;
+//   * merge(other)  — absorb another summary of the same accuracy class;
+//     count() is exactly additive under merge, and the rank-error bound
+//     must survive arbitrary merge trees (k-way, any order) — not just
+//     repeated single-stream insertion.  Pinned for KllSketch by
+//     tests/test_sketch.cpp (KllMerge*).
+//   * count()       — exact number of items absorbed (inserts + merges);
+//   * rank(z)       — estimated #{items <= z};
+//   * quantile(phi) — an item whose rank is ~phi*count() within the
+//     summary's error bound;
+//   * space()       — items physically stored, the per-node state bound.
+//
+// Determinism note: summaries may be randomized (KLL's compaction coins),
+// but must be *reproducibly* randomized — the same construction sequence on
+// the same seed yields bit-identical summaries.  The service layer's
+// warm-vs-cold bit-identity guarantee leans on this.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "sim/key.hpp"
+
+namespace gq {
+
+template <typename S>
+concept QuantileSummary = requires(S s, const S cs, const Key& k, double phi) {
+  { s.insert(k) };
+  { s.merge(cs) };
+  { cs.count() } -> std::convertible_to<std::uint64_t>;
+  { cs.rank(k) } -> std::convertible_to<std::uint64_t>;
+  { cs.quantile(phi) } -> std::convertible_to<Key>;
+  { cs.space() } -> std::convertible_to<std::size_t>;
+  { cs.empty() } -> std::convertible_to<bool>;
+};
+
+}  // namespace gq

@@ -166,6 +166,107 @@ TEST(Kll, MergeRequiresSameK) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+// Builds kParts sketches over disjoint slices of `keys`, seeded by slice.
+std::vector<KllSketch> sharded_sketches(const std::vector<Key>& keys,
+                                        std::size_t parts, std::uint32_t k) {
+  std::vector<KllSketch> shards;
+  for (std::size_t p = 0; p < parts; ++p) {
+    shards.emplace_back(k, 100 + p);
+    for (std::size_t i = p; i < keys.size(); i += parts) {
+      shards.back().insert(keys[i]);
+    }
+  }
+  return shards;
+}
+
+TEST(Kll, MergeIsDeterministicForTheSameOrder) {
+  constexpr std::size_t kN = 30000;
+  const auto keys = sequential_keys(kN);
+  std::vector<std::vector<std::uint64_t>> trials;
+  for (int trial = 0; trial < 2; ++trial) {
+    auto shards = sharded_sketches(keys, 6, 128);
+    KllSketch acc = shards[0];
+    for (std::size_t p = 1; p < shards.size(); ++p) acc.merge(shards[p]);
+    trials.emplace_back();
+    for (std::size_t i = 0; i < kN; i += 997) {
+      trials.back().push_back(acc.rank(keys[i]));
+    }
+  }
+  EXPECT_EQ(trials[0], trials[1]);  // bit-identical replay
+}
+
+TEST(Kll, KWayMergePreservesCountAndErrorBoundInAnyOrder) {
+  constexpr std::size_t kN = 40000;
+  constexpr std::uint32_t kK = 128;
+  const auto xs = generate_values(Distribution::kGaussian, kN, 271);
+  const auto keys = make_keys(xs);
+  std::vector<Key> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // Three merge orders over the same 8 shard sketches: left fold, right
+  // fold, and pairwise tournament tree.  Exact counts must be additive
+  // under all of them, and every result must keep the O(1/k) rank error —
+  // the bound survives arbitrary merge trees, not just insertion order.
+  const auto check = [&](const KllSketch& sk, const char* order) {
+    EXPECT_EQ(sk.count(), kN) << order;
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      const auto idx = static_cast<std::size_t>(q * (kN - 1));
+      const double est = static_cast<double>(sk.rank(sorted[idx]));
+      const double truth = static_cast<double>(idx + 1);
+      EXPECT_LE(std::abs(est - truth) / static_cast<double>(kN), 4.0 / kK)
+          << order << " phi=" << q;
+    }
+  };
+
+  {
+    auto shards = sharded_sketches(keys, 8, kK);
+    KllSketch acc = shards[0];
+    for (std::size_t p = 1; p < shards.size(); ++p) acc.merge(shards[p]);
+    check(acc, "left fold");
+  }
+  {
+    auto shards = sharded_sketches(keys, 8, kK);
+    KllSketch acc = shards[7];
+    for (std::size_t p = 7; p-- > 0;) acc.merge(shards[p]);
+    check(acc, "right fold");
+  }
+  {
+    auto shards = sharded_sketches(keys, 8, kK);
+    while (shards.size() > 1) {
+      std::vector<KllSketch> next;
+      for (std::size_t p = 0; p + 1 < shards.size(); p += 2) {
+        KllSketch m = shards[p];
+        m.merge(shards[p + 1]);
+        next.push_back(std::move(m));
+      }
+      if (shards.size() % 2 == 1) next.push_back(std::move(shards.back()));
+      shards = std::move(next);
+    }
+    check(shards[0], "tournament tree");
+  }
+}
+
+TEST(Kll, CountIsAssociativeAcrossMergeGroupings) {
+  constexpr std::size_t kN = 9000;
+  const auto keys = sequential_keys(kN);
+  const auto build = [&]() { return sharded_sketches(keys, 3, 64); };
+
+  auto abc = build();
+  KllSketch ab = abc[0];
+  ab.merge(abc[1]);
+  ab.merge(abc[2]);  // (a + b) + c
+
+  auto abc2 = build();
+  KllSketch bc = abc2[1];
+  bc.merge(abc2[2]);
+  KllSketch a_bc = abc2[0];
+  a_bc.merge(bc);  // a + (b + c)
+
+  EXPECT_EQ(ab.count(), kN);
+  EXPECT_EQ(a_bc.count(), kN);
+  EXPECT_EQ(ab.count(), a_bc.count());
+}
+
 TEST(Kll, QuantileMatchesRank) {
   constexpr std::size_t kN = 10000;
   const auto keys = sequential_keys(kN);
