@@ -72,5 +72,5 @@ void run() {
 
 int main() {
   gq::run();
-  return 0;
+  return gq::bench::exit_status();
 }

@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,7 +10,76 @@
 #include <limits>
 #include <thread>
 
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace gq::bench {
+
+namespace {
+
+std::atomic<bool> g_artifact_failed{false};
+
+// A set-but-empty trace env is treated as unset: pointing an artifact at
+// "" is a shell quoting accident, not a request.
+const char* env_path(const char* name) {
+  const char* s = std::getenv(name);
+  return (s != nullptr && s[0] != '\0') ? s : nullptr;
+}
+
+// Telemetry switches on before main() so spans cover the whole run,
+// including any setup a bench does in static scope.
+const bool g_trace_requested = [] {
+  const bool want = env_path("GQ_TRACE") != nullptr ||
+                    env_path("GQ_TRACE_JSON") != nullptr ||
+                    env_path("GQ_TRACE_PROM") != nullptr;
+  if (want) telemetry::enable();
+  return want;
+}();
+
+}  // namespace
+
+bool trace_requested() { return g_trace_requested; }
+
+void note_artifact_failure() {
+  g_artifact_failed.store(true, std::memory_order_relaxed);
+}
+
+int exit_status() {
+  static bool flushed = false;
+  if (!flushed && g_trace_requested) {
+    flushed = true;
+    if (const char* path = env_path("GQ_TRACE")) {
+      if (!telemetry::write_chrome_trace(path)) {
+        std::fprintf(stderr, "GQ_TRACE: failed to write %s\n", path);
+        note_artifact_failure();
+      }
+    }
+    if (const char* path = env_path("GQ_TRACE_JSON")) {
+      if (!telemetry::write_jsonl(path)) {
+        std::fprintf(stderr, "GQ_TRACE_JSON: failed to write %s\n", path);
+        note_artifact_failure();
+      }
+    }
+    if (const char* path = env_path("GQ_TRACE_PROM")) {
+      const std::string text = telemetry::prometheus_text();
+      std::FILE* f = std::fopen(path, "w");
+      bool ok = f != nullptr;
+      if (f != nullptr) {
+        ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        ok = (std::fclose(f) == 0) && ok;
+      }
+      if (!ok) {
+        std::fprintf(stderr, "GQ_TRACE_PROM: failed to write %s\n", path);
+        note_artifact_failure();
+      }
+    }
+    const std::string phase = telemetry::phase_summary();
+    if (!phase.empty()) std::fprintf(stderr, "\n%s", phase.c_str());
+    const std::string util = telemetry::utilization_summary();
+    if (!util.empty()) std::fprintf(stderr, "\n%s", util.c_str());
+  }
+  return g_artifact_failed.load(std::memory_order_relaxed) ? 1 : 0;
+}
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -214,6 +284,7 @@ JsonArtifact::~JsonArtifact() {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "GQ_BENCH_JSON: cannot open %s for writing\n", path);
+    note_artifact_failure();
     return;
   }
   // Strings written here are bench/pipeline identifiers and env labels —
@@ -245,10 +316,24 @@ JsonArtifact::~JsonArtifact() {
     if (r.higher_is_better) {
       std::fprintf(f, ", \"qps\": %.2f, \"higher_is_better\": true", r.qps);
     }
+    // Optional phase breakdown: descriptive metadata only, never gated on
+    // (scripts/bench_diff passes it through untouched).
+    if (!r.phases.empty()) {
+      std::fprintf(f, ", \"phases\": {");
+      for (std::size_t p = 0; p < r.phases.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": %.6f", p > 0 ? ", " : "",
+                     r.phases[p].first.c_str(), r.phases[p].second);
+      }
+      std::fprintf(f, "}");
+    }
     std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "GQ_BENCH_JSON: failed to write %s\n", path);
+    note_artifact_failure();
+  }
 }
 
 }  // namespace gq::bench

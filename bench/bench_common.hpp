@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gq::bench {
@@ -40,6 +41,34 @@ class Table {
 // Experiment banner: id and the paper claim being exercised.
 void print_header(const std::string& id, const std::string& title,
                   const std::string& claim);
+
+// ---- telemetry / trace wiring ---------------------------------------------
+//
+// Setting any of these envs to an output path turns gq::telemetry on for
+// the whole bench run (before main(), so every phase is covered) and makes
+// exit_status() write the artifact:
+//
+//   GQ_TRACE       Chrome trace-event JSON (load in Perfetto / about:tracing)
+//   GQ_TRACE_JSON  one JSON object per completed span (JSONL)
+//   GQ_TRACE_PROM  Prometheus-style text exposition
+//
+// When tracing is on, exit_status() also prints the phase and worker-
+// utilization summaries to stderr (stdout keeps the markdown tables).
+// Unset/empty envs leave telemetry disabled — the bench measures the same
+// instruction stream the tests pin.
+[[nodiscard]] bool trace_requested();
+
+// The exit code a bench's main() must return: flushes the trace artifacts
+// (once), then reports 1 if any artifact write — bench JSON or trace —
+// failed, 0 otherwise.  Benches that write artifacts and return 0
+// unconditionally hide broken CI uploads, so every bench main ends with
+// `return gq::bench::exit_status();`.
+[[nodiscard]] int exit_status();
+
+// Records that an artifact write failed (diagnostic already printed);
+// flips exit_status() to 1.  Used by JsonArtifact, the trace flush, and
+// benches that write their own artifacts (e.g. bench_dynamics' CSV).
+void note_artifact_failure();
 
 // GQ_BENCH_SCALE env (default 1.0) scales trial counts; GQ_BENCH_FAST
 // trims the largest problem sizes for smoke runs.  Boolean envs accept
@@ -105,6 +134,11 @@ struct PerfRecord {
   // their JSON shape is unchanged.
   double qps = 0.0;
   bool higher_is_better = false;
+
+  // Optional phase breakdown (name -> seconds), emitted as a "phases" JSON
+  // object on the record.  Purely descriptive metadata: scripts/bench_diff
+  // passes it through and never gates on it.
+  std::vector<std::pair<std::string, double>> phases;
 };
 
 // Collects PerfRecords and writes them as a BENCH_engine.json fragment when

@@ -124,6 +124,11 @@ void run() {
   if (trace.write_csv(path)) {
     std::printf("Wrote per-iteration convergence series to %s (%zu points).\n\n",
                 path.c_str(), trace.size());
+  } else {
+    // A bench whose artifact silently fails to land leaves CI green while
+    // uploading nothing; fail the run instead.
+    std::fprintf(stderr, "bench_dynamics: failed to write %s\n", path.c_str());
+    bench::note_artifact_failure();
   }
 }
 
@@ -132,5 +137,5 @@ void run() {
 
 int main() {
   gq::run();
-  return 0;
+  return gq::bench::exit_status();
 }

@@ -148,5 +148,5 @@ void run() {
 
 int main() {
   gq::run();
-  return 0;
+  return gq::bench::exit_status();
 }

@@ -210,5 +210,5 @@ int main() {
     cdf_batch_table(n, threads, queries);
     mixed_steady_state_table(n, threads, queries);
   }
-  return 0;
+  return bench::exit_status();
 }

@@ -33,6 +33,7 @@
 #include "core/result.hpp"
 #include "sim/key.hpp"
 #include "sim/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace gq::approx_detail {
@@ -46,11 +47,13 @@ ApproxQuantileResult approx_quantile_keys_impl(
   GQ_REQUIRE(params.eps > 0.0 && params.eps < 0.5,
              "eps must lie in (0, 1/2)");
 
+  GQ_SPAN("pipeline/approx_quantile");
   const Metrics before = ops.metrics();
 
   if (params.eps < eps_tournament_floor(n) && !params.force_tournament) {
     // Theorem 1.2 bootstrap: for eps below the sampling floor the exact
     // algorithm is both correct and within the advertised round bound.
+    GQ_SPAN("approx/exact_fallback");
     ExactQuantileParams ep;
     ep.phi = params.phi;
     const ExactQuantileResult er = ops.exact(keys, ep);
@@ -70,22 +73,36 @@ ApproxQuantileResult approx_quantile_keys_impl(
   const double phase2_eps = params.eps / 4.0;
 
   if (ops.never_fails()) {
-    const auto p1 =
-        ops.two(state, params.phi, params.eps, params.truncate_last);
-    const auto p2 = ops.three(state, phase2_eps, params.final_sample_size);
+    const auto p1 = [&] {
+      GQ_SPAN("approx/two_tournament");
+      return ops.two(state, params.phi, params.eps, params.truncate_last);
+    }();
+    const auto p2 = [&] {
+      GQ_SPAN("approx/three_tournament");
+      return ops.three(state, phase2_eps, params.final_sample_size);
+    }();
     out.phase1_iterations = p1.iterations;
     out.phase2_iterations = p2.iterations;
     out.outputs = p2.outputs;
     out.valid.assign(n, true);
   } else {
     std::vector<bool> good(n, true);
-    const auto p1 = ops.robust_two(state, good, params.phi, params.eps,
-                                   params.truncate_last);
-    auto p2 =
-        ops.robust_three(state, good, phase2_eps, params.final_sample_size);
+    const auto p1 = [&] {
+      GQ_SPAN("approx/robust_two_tournament");
+      return ops.robust_two(state, good, params.phi, params.eps,
+                            params.truncate_last);
+    }();
+    auto p2 = [&] {
+      GQ_SPAN("approx/robust_three_tournament");
+      return ops.robust_three(state, good, phase2_eps,
+                              params.final_sample_size);
+    }();
     out.phase1_iterations = p1.iterations;
     out.phase2_iterations = p2.iterations;
-    ops.coverage(p2.outputs, p2.valid, params.robust_coverage_rounds);
+    {
+      GQ_SPAN("approx/coverage");
+      ops.coverage(p2.outputs, p2.valid, params.robust_coverage_rounds);
+    }
     out.outputs = std::move(p2.outputs);
     out.valid = std::move(p2.valid);
   }

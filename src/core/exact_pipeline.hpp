@@ -48,6 +48,7 @@
 #include "core/token_split.hpp"
 #include "sim/key.hpp"
 #include "sim/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace gq::exact_detail {
@@ -78,6 +79,7 @@ PipelineOutcome selection_endgame(Ops& ops, std::vector<Key>& inst,
                                   std::uint64_t k,
                                   const ExactQuantileParams& params,
                                   std::size_t iterations_so_far) {
+  GQ_SPAN("exact/selection_endgame");
   const std::uint32_t n = ops.size();
   PipelineOutcome out;
   out.iterations = iterations_so_far;
@@ -86,6 +88,7 @@ PipelineOutcome selection_endgame(Ops& ops, std::vector<Key>& inst,
   Key hi_e = Key::infinite();
   std::vector<bool> candidate(n);
   for (std::uint32_t phase = 0; phase < params.max_endgame_phases; ++phase) {
+    GQ_SPAN("exact/endgame_phase");
     for (std::uint32_t v = 0; v < n; ++v) {
       candidate[v] =
           inst[v].is_finite() && lo_e < inst[v] && inst[v] < hi_e;
@@ -141,6 +144,7 @@ struct CostModel {
 template <typename Ops>
 PipelineOutcome run_pipeline(Ops& ops, std::span<const Key> keys,
                              const ExactQuantileParams& params) {
+  GQ_SPAN("exact/run_pipeline");
   const std::uint32_t n = ops.size();
   const auto nd = static_cast<double>(n);
 
@@ -196,6 +200,7 @@ PipelineOutcome run_pipeline(Ops& ops, std::span<const Key> keys,
       return selection_endgame(ops, inst, k, params, out.iterations);
     }
     ++out.iterations;
+    GQ_SPAN("exact/iteration");
 
     // Steps 3-4: bracket the k/n-quantile from both sides and spread the
     // extremes.
@@ -332,6 +337,7 @@ PipelineOutcome run_pipeline(Ops& ops, std::span<const Key> keys,
       return selection_endgame(ops, inst, k, params, out.iterations);
     }
     if (m >= 2) {
+      GQ_SPAN("exact/token_split");
       const TokenSplitResult ts = ops.token_split(
           inst, m, static_cast<std::uint64_t>(out.iterations) << 32);
       inst = ts.instance;
@@ -351,6 +357,7 @@ ExactQuantileResult exact_quantile_keys_impl(
   GQ_REQUIRE(keys.size() == n, "one key per node required");
   GQ_REQUIRE(params.phi >= 0.0 && params.phi <= 1.0, "phi must lie in [0,1]");
 
+  GQ_SPAN("pipeline/exact_quantile");
   const auto nd = static_cast<double>(n);
   const std::uint64_t k0 = std::clamp<std::uint64_t>(
       static_cast<std::uint64_t>(std::ceil(params.phi * nd)), 1, n);
@@ -363,6 +370,7 @@ ExactQuantileResult exact_quantile_keys_impl(
     // Verification: the answer's rank among the ORIGINAL keys must be
     // exactly k0.  The probe's maximal tag matches every duplication copy
     // of the answer's (value, id).
+    GQ_SPAN("exact/verification");
     const Key probe{pipe.answer.value, pipe.answer.id,
                     std::numeric_limits<std::uint64_t>::max()};
     std::vector<bool> indicator(n);

@@ -58,6 +58,7 @@
 #include "core/three_tournament.hpp"
 #include "core/two_tournament.hpp"
 #include "sim/key.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace gq {
@@ -119,6 +120,7 @@ RobustTwoTournamentOutcome robust_two_tournament_impl(Ops& ops, double phi,
   const TwoTournamentSchedule schedule = two_tournament_schedule(start, eps);
 
   for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    GQ_SPAN("robust/two_iteration");
     const double delta = truncate_last ? schedule.delta[iter] : 1.0;
     ops.two_iteration(out.pulls_per_iteration, delta, suppress_high);
     ++out.iterations;
@@ -140,12 +142,14 @@ RobustThreeTournamentOutcome robust_three_tournament_impl(
   const std::uint32_t k_samples = (final_sample_size | 1u);
 
   for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    GQ_SPAN("robust/three_iteration");
     ops.three_iteration(out.pulls_per_iteration);
     ++out.iterations;
   }
 
   // Robust final step: collect K good pulls out of Theta(K/(1-mu) log ...)
   // attempts and output their median.
+  GQ_SPAN("robust/final_median_sample");
   const std::uint32_t final_pulls =
       robust_pull_count(mu, 2.0 * static_cast<double>(k_samples));
   ops.final_median_sample(final_pulls, k_samples, out.outputs, out.valid);
@@ -157,6 +161,7 @@ RobustThreeTournamentOutcome robust_three_tournament_impl(
 // rounds consumed.
 template <typename Ops>
 std::uint64_t robust_coverage_impl(Ops& ops, std::uint32_t t) {
+  GQ_SPAN("robust/coverage");
   std::uint64_t rounds = 0;
   for (std::uint32_t r = 0; r < t; ++r) {
     // Early exit once everyone is served keeps reported costs honest: a

@@ -23,6 +23,7 @@ Engine::Engine(std::uint32_t n, std::uint64_t seed, FailureModel failures,
 void Engine::pull_round(std::uint64_t bits_per_message,
                         std::span<std::uint32_t> peers_out) {
   GQ_REQUIRE(peers_out.size() == n_, "peer output array must have one slot per node");
+  GQ_SPAN("engine/pull_round");
   begin_round();
   parallel_shards([&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
     std::uint64_t sent = 0;

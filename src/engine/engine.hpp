@@ -162,6 +162,7 @@ class Engine {
   // the shard accumulators' size tables have warmed up.
   template <typename Fn>
   void parallel_shards(Fn&& fn) {
+    GQ_SPAN("engine/parallel_shards");
     const std::uint32_t shard_size = config_.shard_size;
     auto shard_task = [&](std::size_t s) {
       const std::uint32_t begin =

@@ -263,6 +263,7 @@ std::size_t two_tournament_rounds(Engine& engine, std::span<T> cur,
   const std::uint32_t block = engine.gather_block();
   std::size_t iterations = 0;
   for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    GQ_SPAN("tournament/two_iteration");
     const double delta = truncate_last ? schedule.delta[iter] : 1.0;
 
     // Round 1: every node pulls its first sample.  Pick pass only; `cur`
@@ -339,6 +340,7 @@ std::size_t three_tournament_rounds(
   const std::uint32_t block = engine.gather_block();
   std::size_t iterations = 0;
   for (std::size_t iter = 0; iter < schedule.iterations(); ++iter) {
+    GQ_SPAN("tournament/three_iteration");
     // Three pulls = three rounds, all reading the iteration-start state
     // (`cur` is immutable until the commit, which writes `next`).  The
     // first two are pure pick passes; the third is blocked — its draws,
@@ -707,6 +709,7 @@ class EngineRobustOps {
   template <typename Commit>
   void fanout_pull_block(std::uint32_t pulls, std::uint32_t trailing_rounds,
                          std::uint32_t capacity, Commit&& commit) {
+    GQ_SPAN("robust/fanout_pull_block");
     const std::uint64_t base = engine_.round() + 1;
     for (std::uint32_t r = 0; r < pulls + trailing_rounds; ++r) {
       engine_.begin_round();

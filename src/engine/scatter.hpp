@@ -318,6 +318,7 @@ class Scatter {
             typename Touch>
   void deliver_prefetch(Engine& engine, Prologue&& prologue, Fold&& fold,
                         Epilogue&& epilogue, Touch&& touch) {
+    GQ_SPAN("engine/scatter_deliver");
     engine.pool().run(layout_.partitions, [&](std::size_t p) {
       const auto [first, last] = layout_.partition_range(p);
       prologue(first, last);
@@ -375,6 +376,7 @@ class CombiningScatter {
   // Applies fold(dest, payload) for every (possibly pre-combined) record.
   template <typename Fold>
   void deliver(Engine& engine, Fold&& fold) {
+    GQ_SPAN("engine/scatter_deliver_combining");
     engine.pool().run(layout_.partitions, [&](std::size_t p) {
       boxes_.for_each_in_partition(
           p, [&](const Record& r) { fold(r.dest, r.payload); });

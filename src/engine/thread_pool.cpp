@@ -66,10 +66,11 @@ bool pin_worker_thread(std::thread& worker, unsigned index,
 ThreadPool::ThreadPool(unsigned threads, bool pin_workers)
     : threads_(threads != 0
                    ? threads
-                   : std::max(1u, std::thread::hardware_concurrency())) {
+                   : std::max(1u, std::thread::hardware_concurrency())),
+      telemetry_pool_(threads_) {
   workers_.reserve(threads_ - 1);
   for (unsigned i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
   if (pin_workers && !workers_.empty()) {
     const std::vector<unsigned> cpus = allowed_cpus();
@@ -99,8 +100,18 @@ void ThreadPool::run_raw(std::size_t num_tasks, RawTask task, void* ctx) {
   if (num_tasks == 0) return;
   if (workers_.empty()) {
     // Single-threaded pools execute inline; a throwing task propagates
-    // directly, exactly like the sequential loop it replaces.
+    // directly, exactly like the sequential loop it replaces.  The whole
+    // batch is one "chunk" of worker 0 for utilization purposes.
+    const std::uint64_t t0 =
+        telemetry::enabled() ? telemetry::now_ns() : 0;
     for (std::size_t i = 0; i < num_tasks; ++i) task(ctx, i);
+    if (t0 != 0) {
+      telemetry::WorkerCounters& c = telemetry_pool_.counters()[0];
+      c.busy_ns.fetch_add(telemetry::now_ns() - t0,
+                          std::memory_order_relaxed);
+      c.chunks.fetch_add(1, std::memory_order_relaxed);
+      c.batches.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   GQ_REQUIRE(num_tasks < (std::uint64_t{1} << kIndexBits),
@@ -125,7 +136,7 @@ void ThreadPool::run_raw(std::size_t num_tasks, RawTask task, void* ctx) {
   }
   work_cv_.notify_all();
 
-  drain(batch_);  // the calling thread participates in its own batch
+  drain(batch_, 0);  // the calling thread participates in its own batch
 
   std::exception_ptr error;
   {
@@ -138,9 +149,14 @@ void ThreadPool::run_raw(std::size_t num_tasks, RawTask task, void* ctx) {
   if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::drain(const Batch& batch) {
+void ThreadPool::drain(const Batch& batch, unsigned worker) {
   const std::uint64_t epoch_tag = pack(batch.generation, 0);
   std::uint64_t cur = claim_.load(std::memory_order_relaxed);
+  // Per-drain telemetry accumulators: counters are touched once per drain,
+  // not once per chunk, so the enabled cost stays off the claim hot path.
+  const bool telemetry_on = telemetry::enabled();
+  std::uint64_t busy_ns = 0;
+  std::uint64_t chunks_claimed = 0;
   for (;;) {
     // One claim per chunk.  The epoch tag fences stale drainers: if a new
     // batch has been published, the tag mismatch ends this drain before it
@@ -148,15 +164,16 @@ void ThreadPool::drain(const Batch& batch) {
     // 32-bit epoch to wrap all the way around within one compare-exchange
     // attempt — billions of run() calls while this thread sits between two
     // instructions — which we accept the way seqlocks accept ABA.)
-    if ((cur & ~kIndexMask) != epoch_tag) return;
+    if ((cur & ~kIndexMask) != epoch_tag) break;
     const std::size_t begin = static_cast<std::size_t>(cur & kIndexMask);
-    if (begin >= batch.num_tasks) return;
+    if (begin >= batch.num_tasks) break;
     const std::size_t end = std::min(begin + batch.chunk, batch.num_tasks);
     if (!claim_.compare_exchange_weak(cur, pack(batch.generation, end),
                                       std::memory_order_relaxed,
                                       std::memory_order_relaxed)) {
       continue;  // lost the race; cur was reloaded
     }
+    const std::uint64_t t0 = telemetry_on ? telemetry::now_ns() : 0;
     for (std::size_t i = begin; i < end; ++i) {
       try {
         batch.task(batch.ctx, i);
@@ -168,6 +185,10 @@ void ThreadPool::drain(const Batch& batch) {
         if (!batch_error_) batch_error_ = std::current_exception();
       }
     }
+    if (telemetry_on) {
+      busy_ns += telemetry::now_ns() - t0;
+      ++chunks_claimed;
+    }
     const std::size_t done = end - begin;
     if (completed_.fetch_add(done, std::memory_order_acq_rel) + done ==
         batch.num_tasks) {
@@ -176,13 +197,19 @@ void ThreadPool::drain(const Batch& batch) {
       // the notify cannot slip between its check and its sleep.
       { std::lock_guard lock(mutex_); }
       done_cv_.notify_one();
-      return;
+      break;
     }
     cur = claim_.load(std::memory_order_relaxed);
   }
+  if (chunks_claimed != 0) {
+    telemetry::WorkerCounters& c = telemetry_pool_.counters()[worker];
+    c.busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+    c.chunks.fetch_add(chunks_claimed, std::memory_order_relaxed);
+    c.batches.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     Batch batch;
@@ -194,7 +221,7 @@ void ThreadPool::worker_loop() {
       seen_generation = generation_;
       batch = batch_;  // copied under the lock: never torn
     }
-    drain(batch);
+    drain(batch, worker);
   }
 }
 

@@ -37,6 +37,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace gq {
 
 class ThreadPool {
@@ -104,11 +106,20 @@ class ThreadPool {
     return (generation << kIndexBits) | index;
   }
 
-  void worker_loop();
-  void drain(const Batch& batch);
+  void worker_loop(unsigned worker);
+  void drain(const Batch& batch, unsigned worker);
 
   unsigned threads_;
   std::vector<std::thread> workers_;
+
+  // Worker telemetry: per-worker busy-ns / chunks-claimed counters,
+  // registered with gq::telemetry so exporters can report utilization and
+  // imbalance.  Worker 0 is the calling thread; spawned workers are 1..
+  // threads-1 (matching the pinning order).  The counters are only written
+  // when telemetry::enabled() — the disabled cost per chunk is one relaxed
+  // load and a branch — and the whole member compiles to nothing when
+  // telemetry is compiled out.
+  telemetry::RegisteredPool telemetry_pool_;
 
   // Lock-free hot path: chunk claims and completions.
   std::atomic<std::uint64_t> claim_{0};    // packed {epoch, next index}

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "engine/kernels.hpp"
 #include "engine/pipelines.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace gq {
 namespace {
+
+constexpr const char* kQueryKindNames[] = {"quantile", "exact_quantile",
+                                           "rank", "cdf"};
 
 // Disjoint sub-seed spaces off the master seed, so node summaries, query
 // streams, and the resample merge can never collide.
@@ -76,6 +81,7 @@ void QuantileService::ingest(std::uint32_t node,
 }
 
 void QuantileService::build_instance() {
+  GQ_SPAN("service/build_instance");
   const auto m = static_cast<std::uint32_t>(contributors_.size());
   instance_.resize(m);
   switch (cfg_.instance_policy) {
@@ -108,6 +114,7 @@ void QuantileService::build_instance() {
 
 std::uint64_t QuantileService::seal() {
   if (!dirty_ && engine_ != nullptr) return epoch_;
+  GQ_SPAN("service/seal");
   contributors_.clear();
   for (std::uint32_t id = 0; id < streams_.size(); ++id) {
     if (streams_[id] != nullptr && !streams_[id]->empty()) {
@@ -145,22 +152,40 @@ void QuantileService::prepare_engine(std::uint64_t seed) {
 
 QueryReply QuantileService::query(const QueryRequest& request) {
   (void)seal();  // implicit ingest->query barrier; no-op when clean
+  GQ_SPAN("service/query");
   const std::uint64_t seed = next_query_seed(request);
   prepare_engine(seed);
+  // Latency is end-to-end over the dispatched pipeline (post-seal), read
+  // only while telemetry is enabled so the disabled query path stays
+  // clock-free.
+  const std::uint64_t t0 =
+      telemetry::enabled() ? telemetry::now_ns() : 0;
   QueryReply reply;
   switch (request.kind) {
-    case QueryKind::kQuantile:
+    case QueryKind::kQuantile: {
+      GQ_SPAN("service/query_quantile");
       reply = run_quantile(request, seed);
       break;
-    case QueryKind::kExactQuantile:
+    }
+    case QueryKind::kExactQuantile: {
+      GQ_SPAN("service/query_exact_quantile");
       reply = run_exact(request, seed);
       break;
-    case QueryKind::kRank:
+    }
+    case QueryKind::kRank: {
+      GQ_SPAN("service/query_rank");
       reply = run_rank(request, seed);
       break;
-    case QueryKind::kCdf:
+    }
+    case QueryKind::kCdf: {
+      GQ_SPAN("service/query_cdf");
       reply = run_cdf(request, seed);
       break;
+    }
+  }
+  if (t0 != 0) {
+    query_latency_ns_[static_cast<std::size_t>(request.kind)].add(
+        telemetry::now_ns() - t0);
   }
   reply.epoch = epoch_;
   reply.seed = seed;
@@ -314,6 +339,59 @@ ServiceStats QuantileService::stats() const {
   s.engine_rebuilds = engine_rebuilds_;
   s.gossip_rounds = engine_ != nullptr ? engine_->metrics().rounds : 0;
   return s;
+}
+
+const LogHistogram& QuantileService::query_latency(QueryKind kind) const {
+  return query_latency_ns_[static_cast<std::size_t>(kind)];
+}
+
+std::string QuantileService::latency_summary() const {
+  std::ostringstream os;
+  char buf[192];
+  for (std::size_t k = 0; k < query_latency_ns_.size(); ++k) {
+    const LogHistogram& h = query_latency_ns_[k];
+    if (h.total() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "query %-14s n=%-8llu p50=%.3fms p90=%.3fms p99=%.3fms "
+                  "p999=%.3fms max=%.3fms\n",
+                  kQueryKindNames[k],
+                  static_cast<unsigned long long>(h.total()),
+                  static_cast<double>(h.quantile(0.5)) / 1e6,
+                  static_cast<double>(h.quantile(0.9)) / 1e6,
+                  static_cast<double>(h.quantile(0.99)) / 1e6,
+                  static_cast<double>(h.quantile(0.999)) / 1e6,
+                  static_cast<double>(h.max()) / 1e6);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string QuantileService::prometheus_text() const {
+  const ServiceStats s = stats();
+  std::ostringstream os;
+  os << "# TYPE gq_service_queries_total counter\n"
+     << "gq_service_queries_total " << s.queries << "\n"
+     << "# TYPE gq_service_ingested_total counter\n"
+     << "gq_service_ingested_total " << s.ingested << "\n"
+     << "# TYPE gq_service_epoch gauge\n"
+     << "gq_service_epoch " << s.epoch << "\n"
+     << "# TYPE gq_service_live_nodes gauge\n"
+     << "gq_service_live_nodes " << s.live_nodes << "\n"
+     << "# TYPE gq_service_gossip_rounds_total counter\n"
+     << "gq_service_gossip_rounds_total " << s.gossip_rounds << "\n";
+  os << "# TYPE gq_service_query_seconds summary\n";
+  for (std::size_t k = 0; k < query_latency_ns_.size(); ++k) {
+    const LogHistogram& h = query_latency_ns_[k];
+    if (h.total() == 0) continue;
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      os << "gq_service_query_seconds{kind=\"" << kQueryKindNames[k]
+         << "\",quantile=\"" << q << "\"} "
+         << static_cast<double>(h.quantile(q)) / 1e9 << "\n";
+    }
+    os << "gq_service_query_seconds_count{kind=\"" << kQueryKindNames[k]
+       << "\"} " << h.total() << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace gq

@@ -48,9 +48,11 @@
 // two contributing nodes) throws std::invalid_argument via GQ_REQUIRE.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -59,6 +61,7 @@
 #include "service/service_config.hpp"
 #include "service/session.hpp"
 #include "sketch/kll.hpp"
+#include "util/histogram.hpp"
 
 namespace gq {
 
@@ -119,6 +122,18 @@ class QuantileService {
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] ServiceStats stats() const;
 
+  // Per-kind end-to-end query latency (ns), recorded only while
+  // gq::telemetry is enabled — with telemetry off the query path reads no
+  // clocks.  The histograms are log-bucketed (12.5% max relative error);
+  // use quantile(0.5/0.9/0.99/0.999) for percentiles.
+  [[nodiscard]] const LogHistogram& query_latency(QueryKind kind) const;
+
+  // Human-readable per-kind latency percentiles (one line per kind with
+  // recorded samples), and a Prometheus-style exposition of the same plus
+  // the ServiceStats counters.
+  [[nodiscard]] std::string latency_summary() const;
+  [[nodiscard]] std::string prometheus_text() const;
+
  private:
   [[nodiscard]] Stream& live_stream(std::uint32_t node);
   void build_instance();
@@ -145,6 +160,7 @@ class QuantileService {
   std::uint64_t ingested_ = 0;
   std::uint64_t engine_rebuilds_ = 0;
   std::vector<bool> indicator_a_, indicator_b_, indicator_c_;  // rank scratch
+  std::array<LogHistogram, 4> query_latency_ns_;  // indexed by QueryKind
 };
 
 }  // namespace gq

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace gq {
@@ -18,6 +19,7 @@ void EpochSession::update(std::span<const Key> instance,
   const bool oversized =
       interner_.table().size() > static_cast<std::size_t>(compact_factor) * m;
   if (warm_ && !oversized) {
+    GQ_SPAN("service/session_extend");
     // Keys this epoch introduced: anything not already in the table.  The
     // common steady-state epoch (a few nodes ingested, a few
     // representatives moved) makes this a short list; a quiet epoch makes
@@ -37,6 +39,7 @@ void EpochSession::update(std::span<const Key> instance,
     }
     return;
   }
+  GQ_SPAN("service/session_rebuild");
   interner_.intern(instance, lanes);
   warm_ = true;
   ++rebuilds_;

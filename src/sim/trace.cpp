@@ -6,6 +6,26 @@
 
 namespace gq {
 
+namespace {
+
+// RFC 4180 field quoting: a series name containing a comma, double quote,
+// or line break is wrapped in double quotes with internal quotes doubled;
+// anything else passes through unchanged.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 void TraceRecorder::record(std::string_view series, std::uint64_t round,
                            double value) {
   points_.push_back(TracePoint{std::string(series), round, value});
@@ -25,7 +45,7 @@ std::string TraceRecorder::to_csv() const {
   for (const TracePoint& p : points_) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", p.value);
-    os << p.series << ',' << p.round << ',' << buf << '\n';
+    os << csv_field(p.series) << ',' << p.round << ',' << buf << '\n';
   }
   return os.str();
 }

@@ -1,0 +1,251 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace gq::telemetry {
+
+namespace {
+
+// JSON string escaping for span names and labels.  Names are our own
+// static literals today, but the exporter must stay correct if a future
+// layer registers computed names.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Trace {
+  std::vector<SpanEvent> events;
+  std::vector<std::string> names;
+  std::uint64_t base_ns = 0;  // earliest start, the exported time origin
+};
+
+Trace take_trace() {
+  Trace t;
+  t.events = snapshot();
+  t.names = span_names();
+  t.base_ns = ~std::uint64_t{0};
+  for (const SpanEvent& e : t.events) {
+    t.base_ns = std::min(t.base_ns, e.start_ns);
+  }
+  if (t.events.empty()) t.base_ns = 0;
+  // Stable viewer order: by thread, then start time; at equal starts the
+  // longer (enclosing) span first so parents precede children.
+  std::sort(t.events.begin(), t.events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.thread != b.thread) return a.thread < b.thread;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;
+            });
+  return t;
+}
+
+const std::string& name_of(const Trace& t, SpanId id) {
+  static const std::string kUnknown = "<unregistered>";
+  return id < t.names.size() ? t.names[id] : kUnknown;
+}
+
+}  // namespace
+
+std::vector<PhaseStat> phase_stats() {
+  const Trace t = take_trace();
+  std::map<std::string, PhaseStat> by_name;
+  for (const SpanEvent& e : t.events) {
+    PhaseStat& stat = by_name[name_of(t, e.id)];
+    const std::uint64_t dur = e.end_ns - e.start_ns;
+    ++stat.count;
+    stat.total_ns += dur;
+    stat.durations.add(dur);
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) {
+    stat.name = name;
+    out.push_back(std::move(stat));
+  }
+  std::sort(out.begin(), out.end(), [](const PhaseStat& a, const PhaseStat& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const Trace t = take_trace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  // Metadata rows name the process and each recording thread; tid 0 is
+  // whichever thread recorded first (usually the orchestrating thread).
+  std::fprintf(f,
+               "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+               "\"tid\": 0, \"args\": {\"name\": \"gossip-quantiles\"}}");
+  std::uint32_t max_thread = 0;
+  for (const SpanEvent& e : t.events) {
+    max_thread = std::max(max_thread, e.thread);
+  }
+  if (!t.events.empty()) {
+    for (std::uint32_t tid = 0; tid <= max_thread; ++tid) {
+      std::fprintf(f,
+                   ",\n{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                   "\"tid\": %u, \"args\": {\"name\": \"gq-thread-%u\"}}",
+                   tid, tid);
+    }
+  }
+  for (const SpanEvent& e : t.events) {
+    const double ts =
+        static_cast<double>(e.start_ns - t.base_ns) / 1000.0;  // us
+    const double dur = static_cast<double>(e.end_ns - e.start_ns) / 1000.0;
+    std::fprintf(f,
+                 ",\n{\"name\": \"%s\", \"cat\": \"gq\", \"ph\": \"X\", "
+                 "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+                 json_escape(name_of(t, e.id)).c_str(), e.thread, ts, dur);
+  }
+  std::fprintf(f, "\n]}\n");
+  const bool ok = std::ferror(f) == 0;
+  return std::fclose(f) == 0 && ok;
+}
+
+bool write_jsonl(const std::string& path) {
+  const Trace t = take_trace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const SpanEvent& e : t.events) {
+    std::fprintf(f,
+                 "{\"name\": \"%s\", \"thread\": %u, \"start_ns\": %llu, "
+                 "\"end_ns\": %llu, \"dur_ns\": %llu}\n",
+                 json_escape(name_of(t, e.id)).c_str(), e.thread,
+                 static_cast<unsigned long long>(e.start_ns - t.base_ns),
+                 static_cast<unsigned long long>(e.end_ns - t.base_ns),
+                 static_cast<unsigned long long>(e.end_ns - e.start_ns));
+  }
+  const bool ok = std::ferror(f) == 0;
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string prometheus_text() {
+  std::ostringstream os;
+  const std::vector<PhaseStat> phases = phase_stats();
+  os << "# TYPE gq_phase_count counter\n";
+  for (const PhaseStat& p : phases) {
+    os << "gq_phase_count{phase=\"" << p.name << "\"} " << p.count << "\n";
+  }
+  os << "# TYPE gq_phase_seconds_total counter\n";
+  for (const PhaseStat& p : phases) {
+    os << "gq_phase_seconds_total{phase=\"" << p.name << "\"} "
+       << static_cast<double>(p.total_ns) / 1e9 << "\n";
+  }
+  os << "# TYPE gq_phase_duration_seconds summary\n";
+  for (const PhaseStat& p : phases) {
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      os << "gq_phase_duration_seconds{phase=\"" << p.name
+         << "\",quantile=\"" << q << "\"} "
+         << static_cast<double>(p.durations.quantile(q)) / 1e9 << "\n";
+    }
+  }
+  const std::vector<PoolSample> pools = pool_samples();
+  os << "# TYPE gq_worker_busy_seconds_total counter\n";
+  for (const PoolSample& pool : pools) {
+    for (std::size_t w = 0; w < pool.workers.size(); ++w) {
+      os << "gq_worker_busy_seconds_total{pool=\"" << pool.pool_id
+         << "\",worker=\"" << w << "\"} "
+         << static_cast<double>(pool.workers[w].busy_ns) / 1e9 << "\n";
+    }
+  }
+  os << "# TYPE gq_worker_chunks_total counter\n";
+  for (const PoolSample& pool : pools) {
+    for (std::size_t w = 0; w < pool.workers.size(); ++w) {
+      os << "gq_worker_chunks_total{pool=\"" << pool.pool_id
+         << "\",worker=\"" << w << "\"} " << pool.workers[w].chunks << "\n";
+    }
+  }
+  os << "# TYPE gq_trace_dropped_events counter\n";
+  os << "gq_trace_dropped_events " << dropped_events() << "\n";
+  return os.str();
+}
+
+std::string phase_summary() {
+  const std::vector<PhaseStat> phases = phase_stats();
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-40s %10s %12s %10s %10s %10s\n", "phase",
+                "count", "total_s", "mean_ms", "p50_ms", "p99_ms");
+  os << buf;
+  for (const PhaseStat& p : phases) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-40s %10llu %12.3f %10.3f %10.3f %10.3f\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  static_cast<double>(p.total_ns) / 1e9,
+                  p.durations.mean() / 1e6,
+                  static_cast<double>(p.durations.quantile(0.5)) / 1e6,
+                  static_cast<double>(p.durations.quantile(0.99)) / 1e6);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string utilization_summary() {
+  const std::vector<PoolSample> pools = pool_samples();
+  std::ostringstream os;
+  char buf[256];
+  for (const PoolSample& pool : pools) {
+    std::uint64_t busy = 0, chunks = 0, max_busy = 0;
+    for (const WorkerSample& w : pool.workers) {
+      busy += w.busy_ns;
+      chunks += w.chunks;
+      max_busy = std::max(max_busy, w.busy_ns);
+    }
+    if (busy == 0) continue;  // never ran while telemetry was on
+    const auto threads = static_cast<double>(pool.workers.size());
+    const double mean_busy = static_cast<double>(busy) / threads;
+    const double wall = static_cast<double>(pool.wall_ns);
+    // Utilization is busy time over the pool's observed wall window across
+    // all workers; imbalance is the straggler ratio (1.0 = perfectly even).
+    const double util = wall > 0.0 ? static_cast<double>(busy) / (wall * threads)
+                                   : 0.0;
+    const double imbalance =
+        mean_busy > 0.0 ? static_cast<double>(max_busy) / mean_busy : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "pool %llu: threads=%zu wall=%.3fs busy=%.3fs util=%.1f%% "
+                  "imbalance=%.2f chunks=%llu%s\n",
+                  static_cast<unsigned long long>(pool.pool_id),
+                  pool.workers.size(), wall / 1e9,
+                  static_cast<double>(busy) / 1e9, 100.0 * util, imbalance,
+                  static_cast<unsigned long long>(chunks),
+                  pool.retired ? " (retired)" : "");
+    os << buf;
+    for (std::size_t w = 0; w < pool.workers.size(); ++w) {
+      std::snprintf(buf, sizeof(buf),
+                    "  worker %zu: busy=%.3fs chunks=%llu batches=%llu\n", w,
+                    static_cast<double>(pool.workers[w].busy_ns) / 1e9,
+                    static_cast<unsigned long long>(pool.workers[w].chunks),
+                    static_cast<unsigned long long>(pool.workers[w].batches));
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gq::telemetry

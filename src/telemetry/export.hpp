@@ -1,0 +1,51 @@
+// Exporters over the telemetry registry's snapshots: Chrome trace-event
+// JSON (loadable in Perfetto / chrome://tracing), JSONL span records, a
+// Prometheus-style text exposition, and human-readable phase/utilization
+// summaries.  Everything here runs OFF the hot path — exporters only read
+// snapshot() / pool_samples(), so they can run after the instrumented
+// engines and pools are gone.  With telemetry compiled out the snapshots
+// are empty and every exporter emits a valid empty artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "util/histogram.hpp"
+
+namespace gq::telemetry {
+
+// Per-span-name aggregate across all recorded events.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  LogHistogram durations;  // per-event durations, ns
+};
+
+// Aggregates the current snapshot by span name, ordered by descending
+// total time.
+[[nodiscard]] std::vector<PhaseStat> phase_stats();
+
+// Chrome trace-event JSON ("X" complete events, one tid per recording
+// thread, microsecond timestamps rebased to the trace start).  Returns
+// false on I/O failure.
+[[nodiscard]] bool write_chrome_trace(const std::string& path);
+
+// One JSON object per line per completed span (start/end rebased to the
+// trace start, durations in ns).  Returns false on I/O failure.
+[[nodiscard]] bool write_jsonl(const std::string& path);
+
+// Prometheus-style text exposition of the span aggregates, worker
+// counters, and drop counters.
+[[nodiscard]] std::string prometheus_text();
+
+// Human-readable per-phase breakdown (count, total, mean, p50/p99), one
+// line per span name, ordered by descending total time.
+[[nodiscard]] std::string phase_summary();
+
+// Human-readable per-pool worker utilization/imbalance summary.
+[[nodiscard]] std::string utilization_summary();
+
+}  // namespace gq::telemetry

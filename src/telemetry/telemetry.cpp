@@ -1,0 +1,232 @@
+#include "telemetry/telemetry.hpp"
+
+#if GQ_TELEMETRY
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace gq::telemetry {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// One thread's pre-reserved ring of completed spans.  The owning thread is
+// the only writer; snapshot() readers sample `count` with acquire ordering,
+// so every event below the sampled count is fully written.
+struct ThreadSink {
+  std::vector<SpanEvent> ring;
+  std::atomic<std::size_t> count{0};    // published events (<= ring.size())
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t thread_index = 0;
+};
+
+// Registry state.  Sinks and pool registrations are appended under the
+// mutex; the hot path touches neither (a recording thread reaches its sink
+// through a thread_local pointer, a pool through its counter block).
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<ThreadSink>> sinks;
+  std::size_t ring_capacity = Config{}.ring_capacity;
+
+  struct PoolEntry {
+    std::uint64_t id = 0;
+    unsigned threads = 0;
+    std::uint64_t registered_ns = 0;
+    std::uint64_t retired_ns = 0;  // 0 while live
+    bool retired = false;
+    // Live pools point at the pool-owned counter block; retirement copies
+    // the final values here so exports outlive the pool.
+    WorkerCounters* live = nullptr;
+    std::vector<WorkerSample> final_samples;
+  };
+  std::vector<PoolEntry> pools;
+  std::uint64_t next_pool_id = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sinks outlive all threads
+  return *r;
+}
+
+thread_local ThreadSink* t_sink = nullptr;
+
+ThreadSink* acquire_sink() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  r.sinks.push_back(std::make_unique<ThreadSink>());
+  ThreadSink* sink = r.sinks.back().get();
+  sink->thread_index = static_cast<std::uint32_t>(r.sinks.size() - 1);
+  sink->ring.resize(r.ring_capacity);
+  return sink;
+}
+
+[[nodiscard]] WorkerSample sample_counters(const WorkerCounters& c) {
+  WorkerSample s;
+  s.busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+  s.chunks = c.chunks.load(std::memory_order_relaxed);
+  s.batches = c.batches.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace
+
+SpanId register_span(const char* name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (std::size_t i = 0; i < r.names.size(); ++i) {
+    if (r.names[i] == name) return static_cast<SpanId>(i);
+  }
+  r.names.emplace_back(name);
+  return static_cast<SpanId>(r.names.size() - 1);
+}
+
+std::vector<std::string> span_names() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  return r.names;
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void enable(const Config& config) {
+  Registry& r = registry();
+  {
+    std::lock_guard lock(r.mutex);
+    if (config.ring_capacity > 0) r.ring_capacity = config.ring_capacity;
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (auto& sink : r.sinks) {
+    sink->count.store(0, std::memory_order_release);
+    sink->dropped.store(0, std::memory_order_relaxed);
+  }
+  for (auto& pool : r.pools) {
+    if (pool.retired || pool.live == nullptr) continue;
+    for (unsigned w = 0; w < pool.threads; ++w) {
+      pool.live[w].busy_ns.store(0, std::memory_order_relaxed);
+      pool.live[w].chunks.store(0, std::memory_order_relaxed);
+      pool.live[w].batches.store(0, std::memory_order_relaxed);
+    }
+    pool.registered_ns = now_ns();
+  }
+}
+
+void record_span(SpanId id, std::uint64_t start_ns,
+                 std::uint64_t end_ns) noexcept {
+  ThreadSink* sink = t_sink;
+  if (sink == nullptr) {
+    sink = acquire_sink();
+    t_sink = sink;
+  }
+  const std::size_t at = sink->count.load(std::memory_order_relaxed);
+  if (at >= sink->ring.size()) {
+    // Full: drop the NEW event.  Overwriting would lose the enclosing
+    // phases recorded first, which are the ones a trace reader needs.
+    sink->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  sink->ring[at] = SpanEvent{id, sink->thread_index, start_ns, end_ns};
+  sink->count.store(at + 1, std::memory_order_release);
+}
+
+std::vector<SpanEvent> snapshot() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::vector<SpanEvent> out;
+  std::size_t total = 0;
+  for (const auto& sink : r.sinks) {
+    total += sink->count.load(std::memory_order_acquire);
+  }
+  out.reserve(total);
+  for (const auto& sink : r.sinks) {
+    const std::size_t count = sink->count.load(std::memory_order_acquire);
+    out.insert(out.end(), sink->ring.begin(),
+               sink->ring.begin() + static_cast<std::ptrdiff_t>(count));
+  }
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& sink : r.sinks) {
+    dropped += sink->dropped.load(std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+RegisteredPool::RegisteredPool(unsigned threads)
+    : threads_(threads), counters_(new WorkerCounters[threads]) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  Registry::PoolEntry entry;
+  entry.id = r.next_pool_id++;
+  entry.threads = threads;
+  entry.registered_ns = now_ns();
+  entry.live = counters_;
+  id_ = entry.id;
+  r.pools.push_back(std::move(entry));
+}
+
+RegisteredPool::~RegisteredPool() {
+  Registry& r = registry();
+  {
+    std::lock_guard lock(r.mutex);
+    for (auto& pool : r.pools) {
+      if (pool.id != id_) continue;
+      pool.retired = true;
+      pool.retired_ns = now_ns();
+      pool.final_samples.reserve(threads_);
+      for (unsigned w = 0; w < threads_; ++w) {
+        pool.final_samples.push_back(sample_counters(counters_[w]));
+      }
+      pool.live = nullptr;
+      break;
+    }
+  }
+  delete[] counters_;
+}
+
+std::vector<PoolSample> pool_samples() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::vector<PoolSample> out;
+  out.reserve(r.pools.size());
+  const std::uint64_t now = now_ns();
+  for (const auto& pool : r.pools) {
+    PoolSample s;
+    s.pool_id = pool.id;
+    s.retired = pool.retired;
+    s.wall_ns = (pool.retired ? pool.retired_ns : now) - pool.registered_ns;
+    if (pool.retired) {
+      s.workers = pool.final_samples;
+    } else {
+      s.workers.reserve(pool.threads);
+      for (unsigned w = 0; w < pool.threads; ++w) {
+        s.workers.push_back(sample_counters(pool.live[w]));
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace gq::telemetry
+
+#endif  // GQ_TELEMETRY

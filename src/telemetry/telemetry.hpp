@@ -1,0 +1,265 @@
+// Low-overhead, determinism-neutral observability for every execution
+// layer: phase spans, worker utilization, and duration histograms.
+//
+// ## Design constraints (both are hard invariants, pinned by tests)
+//
+//   * Telemetry OFF => zero overhead.  Compiled out (GQ_TELEMETRY=0) every
+//     entry point below is an empty inline that the optimizer deletes.
+//     Compiled in but not enable()d, an instrumented scope costs one
+//     relaxed atomic load and a predictable branch — no clock reads, no
+//     stores, and never a heap allocation, so the engine's steady-state
+//     zero-allocation pin (tests/test_engine_alloc.cpp) holds unchanged.
+//   * Telemetry ON => observational only.  Recording reads clocks and
+//     writes into pre-reserved per-thread ring buffers; it never touches
+//     protocol state, randomness, Metrics, or scheduling decisions, so
+//     transcripts and results are bit-identical with telemetry enabled or
+//     disabled at every thread count (tests/test_telemetry.cpp).
+//
+// ## Shape
+//
+//   * Span names are interned once per call site into a static registry
+//     (register_span); a recorded event carries the 32-bit id, not the
+//     string, so the hot path never hashes or copies names.
+//   * Each recording thread owns one ring buffer of completed SpanEvents,
+//     created on the thread's first record and pre-reserved to the
+//     configured capacity — steady-state recording is bump-a-cursor.  A
+//     full ring drops new events (counted; see dropped_events) instead of
+//     overwriting the enclosing phases already recorded.
+//   * ThreadPools register per-worker busy-ns/chunk counters here
+//     (RegisteredPool) so exporters can compute utilization and imbalance
+//     summaries; retired pools leave a final snapshot behind, letting a
+//     bench export after its Engine is destroyed.
+//
+// Exporters (Chrome trace JSON for Perfetto, JSONL, Prometheus-style text)
+// live in telemetry/export.hpp; they only read snapshots, off the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// GQ_TELEMETRY is normally injected by the build (CMake option GQ_TELEMETRY,
+// ON by default); standalone includes compile the instrumented variant.
+#if !defined(GQ_TELEMETRY)
+#define GQ_TELEMETRY 1
+#endif
+
+#if GQ_TELEMETRY
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace gq::telemetry {
+
+inline constexpr bool kCompiledIn = true;
+
+using SpanId = std::uint32_t;
+
+// One completed span.  `thread` is the telemetry-assigned recording-thread
+// index (stable per OS thread, dense from 0 in first-record order).
+struct SpanEvent {
+  SpanId id = 0;
+  std::uint32_t thread = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+struct Config {
+  // Completed-span capacity of each recording thread's ring, reserved when
+  // the thread first records.  24 bytes/event: the default is ~6 MB/thread,
+  // comfortably above any pipeline's span count at n = 10^7.
+  std::size_t ring_capacity = 1u << 18;
+};
+
+// Interns `name` (idempotent: same string => same id).  Call-site statics
+// make this a once-per-site cost; it may allocate, so instrument warmup
+// paths before measuring allocations.
+[[nodiscard]] SpanId register_span(const char* name);
+
+// Name table indexed by SpanId (copy: the registry stays lock-protected).
+[[nodiscard]] std::vector<std::string> span_names();
+
+// Runtime switch.  enable() is idempotent and keeps previously recorded
+// events; disable() stops recording but keeps events and rings so exporters
+// can still snapshot.  reset() drops recorded spans and zeroes pool
+// counters without touching the enabled state.
+void enable(const Config& config = Config{});
+void disable();
+void reset();
+
+[[nodiscard]] inline bool enabled() noexcept {
+  extern std::atomic<bool> g_enabled;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+// Monotonic nanoseconds (steady clock, process-relative epoch).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+// Records a completed span into the calling thread's ring.  Only call when
+// enabled() was true at span start; allocates once per thread (the ring).
+void record_span(SpanId id, std::uint64_t start_ns,
+                 std::uint64_t end_ns) noexcept;
+
+// All recorded events, ordered by (thread, recording order).  Safe to call
+// while other threads record: each ring is sampled at its published count.
+[[nodiscard]] std::vector<SpanEvent> snapshot();
+
+// Events discarded because a ring was full.
+[[nodiscard]] std::uint64_t dropped_events();
+
+// RAII phase span.  Reads the clock only when telemetry is enabled at
+// construction; a span that straddles disable() still records (its events
+// are observational either way).
+class Span {
+ public:
+  explicit Span(SpanId id) noexcept
+      : id_(id), start_ns_(enabled() ? now_ns() : 0) {}
+  ~Span() {
+    if (start_ns_ != 0) record_span(id_, start_ns_, now_ns());
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanId id_;
+  std::uint64_t start_ns_;
+};
+
+// ---- worker (thread-pool) telemetry ---------------------------------------
+
+// Per-worker accumulators, cache-line separated so two workers bumping
+// their own counters never share a line.
+struct alignas(64) WorkerCounters {
+  std::atomic<std::uint64_t> busy_ns{0};   // time spent executing chunks
+  std::atomic<std::uint64_t> chunks{0};    // chunk claims served
+  std::atomic<std::uint64_t> batches{0};   // parallel sections participated in
+};
+
+// Snapshot of one worker's counters.
+struct WorkerSample {
+  std::uint64_t busy_ns = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t batches = 0;
+};
+
+// Snapshot of one registered pool (live or retired).
+struct PoolSample {
+  std::uint64_t pool_id = 0;
+  bool retired = false;
+  std::uint64_t wall_ns = 0;  // registration-to-now (or -retirement) window
+  std::vector<WorkerSample> workers;  // index 0 is the calling thread
+};
+
+// A ThreadPool's registration handle: owns the counter block for `threads`
+// workers.  Construction/destruction are pool-lifetime events, never
+// per-round; counters() is lock-free and the pool only writes it when
+// telemetry::enabled().
+class RegisteredPool {
+ public:
+  explicit RegisteredPool(unsigned threads);
+  ~RegisteredPool();
+
+  RegisteredPool(const RegisteredPool&) = delete;
+  RegisteredPool& operator=(const RegisteredPool&) = delete;
+
+  [[nodiscard]] WorkerCounters* counters() noexcept { return counters_; }
+
+ private:
+  std::uint64_t id_;
+  unsigned threads_;
+  WorkerCounters* counters_;
+};
+
+// All registered pools' current counters; retired pools report their final
+// snapshot.  Pools that never recorded anything (telemetry disabled for
+// their whole life) are included with zero counters.
+[[nodiscard]] std::vector<PoolSample> pool_samples();
+
+}  // namespace gq::telemetry
+
+// Statement macro: opens a phase span for the rest of the enclosing scope.
+// The span name is interned once per call site (function-local static).
+#define GQ_TELEMETRY_CAT2(a, b) a##b
+#define GQ_TELEMETRY_CAT(a, b) GQ_TELEMETRY_CAT2(a, b)
+#define GQ_SPAN(name_literal)                                              \
+  static const ::gq::telemetry::SpanId GQ_TELEMETRY_CAT(                   \
+      gq_span_id_, __LINE__) = ::gq::telemetry::register_span(name_literal); \
+  const ::gq::telemetry::Span GQ_TELEMETRY_CAT(gq_span_, __LINE__)(        \
+      GQ_TELEMETRY_CAT(gq_span_id_, __LINE__))
+
+#else  // !GQ_TELEMETRY: the compile-time no-op sink
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace gq::telemetry {
+
+inline constexpr bool kCompiledIn = false;
+
+using SpanId = std::uint32_t;
+
+struct SpanEvent {
+  SpanId id = 0;
+  std::uint32_t thread = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+struct Config {
+  std::size_t ring_capacity = 0;
+};
+
+[[nodiscard]] inline SpanId register_span(const char*) { return 0; }
+[[nodiscard]] inline std::vector<std::string> span_names() { return {}; }
+inline void enable(const Config& = Config{}) {}
+inline void disable() {}
+inline void reset() {}
+[[nodiscard]] inline constexpr bool enabled() noexcept { return false; }
+[[nodiscard]] inline std::uint64_t now_ns() noexcept { return 0; }
+inline void record_span(SpanId, std::uint64_t, std::uint64_t) noexcept {}
+[[nodiscard]] inline std::vector<SpanEvent> snapshot() { return {}; }
+[[nodiscard]] inline std::uint64_t dropped_events() { return 0; }
+
+class Span {
+ public:
+  explicit Span(SpanId) noexcept {}
+};
+
+// Same member shape as the instrumented variant so call sites that are
+// runtime-dead when compiled out (guarded by the constexpr-false enabled())
+// still type-check; counters() returns nullptr and is never dereferenced.
+struct WorkerCounters {
+  std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> batches{0};
+};
+
+struct WorkerSample {
+  std::uint64_t busy_ns = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t batches = 0;
+};
+
+struct PoolSample {
+  std::uint64_t pool_id = 0;
+  bool retired = false;
+  std::uint64_t wall_ns = 0;
+  std::vector<WorkerSample> workers;
+};
+
+class RegisteredPool {
+ public:
+  explicit RegisteredPool(unsigned) {}
+  [[nodiscard]] WorkerCounters* counters() noexcept { return nullptr; }
+};
+
+[[nodiscard]] inline std::vector<PoolSample> pool_samples() { return {}; }
+
+}  // namespace gq::telemetry
+
+#define GQ_SPAN(name_literal) ((void)0)
+
+#endif  // GQ_TELEMETRY

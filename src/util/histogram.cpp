@@ -1,6 +1,7 @@
 #include "util/histogram.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -75,6 +76,85 @@ std::string Histogram::render(std::size_t width) const {
   if (underflow_ > 0) os << "underflow " << underflow_ << '\n';
   if (overflow_ > 0) os << "overflow " << overflow_ << '\n';
   return os.str();
+}
+
+// ---- LogHistogram ----------------------------------------------------------
+//
+// Layout: buckets [0, 2^sub_bits) hold exact small values; every later
+// octave e (values [2^e, 2^(e+1))) is split into 2^sub_bits linear cells.
+
+LogHistogram::LogHistogram(unsigned sub_bucket_bits)
+    : sub_bits_(sub_bucket_bits),
+      sub_count_(std::uint64_t{1} << sub_bucket_bits) {
+  GQ_REQUIRE(sub_bucket_bits <= 16, "sub-bucket bits must be <= 16");
+  const std::size_t octaves = 64 - sub_bits_;
+  counts_.assign(static_cast<std::size_t>(sub_count_) +
+                     octaves * static_cast<std::size_t>(sub_count_),
+                 0);
+}
+
+std::size_t LogHistogram::bucket_index(std::uint64_t v) const noexcept {
+  if (v < sub_count_) return static_cast<std::size_t>(v);
+  const unsigned e = std::bit_width(v) - 1;  // 2^e <= v < 2^(e+1)
+  const std::uint64_t offset = (v >> (e - sub_bits_)) - sub_count_;
+  return static_cast<std::size_t>(
+      sub_count_ + (e - sub_bits_) * sub_count_ + offset);
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::size_t i) const noexcept {
+  if (i < sub_count_) return i;
+  const std::uint64_t j = i - sub_count_;
+  const unsigned e = static_cast<unsigned>(j / sub_count_) + sub_bits_;
+  const std::uint64_t off = j % sub_count_;
+  const std::uint64_t cell = std::uint64_t{1} << (e - sub_bits_);
+  return (sub_count_ + off) * cell + (cell - 1);
+}
+
+void LogHistogram::add(std::uint64_t value) noexcept {
+  ++counts_[bucket_index(value)];
+  ++total_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  GQ_REQUIRE(sub_bits_ == other.sub_bits_,
+             "merging histograms needs matching sub-bucket resolution");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LogHistogram::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+}
+
+double LogHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+std::uint64_t LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  const double target = q * static_cast<double>(total_);
+  auto rank = static_cast<std::uint64_t>(std::ceil(target));
+  rank = std::clamp<std::uint64_t>(rank, 1, total_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
 }
 
 }  // namespace gq

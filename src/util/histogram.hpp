@@ -1,7 +1,10 @@
-// Fixed-width histogram used by benches to report error distributions.
+// Fixed-width histogram used by benches to report error distributions,
+// plus the log-bucketed duration histogram behind the telemetry layer's
+// latency percentiles.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +45,54 @@ class Histogram {
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
   std::size_t total_ = 0;
+};
+
+// Log-bucketed histogram for non-negative integer samples (durations in
+// nanoseconds, counts): HDR-style log2 octaves with 2^sub_bucket_bits
+// linear sub-buckets per octave, so the relative quantile error is bounded
+// by 2^-sub_bucket_bits at every magnitude.  add() is allocation-free and
+// O(1) (the bucket table is sized at construction for the full 64-bit
+// range), which is what lets the telemetry layer record every service
+// query and phase duration without perturbing the measured system.
+class LogHistogram {
+ public:
+  // sub_bucket_bits in [0, 16]; the default 3 (8 sub-buckets per octave)
+  // bounds quantile error at 12.5%, plenty for latency percentiles.
+  explicit LogHistogram(unsigned sub_bucket_bits = 3);
+
+  void add(std::uint64_t value) noexcept;
+  void merge(const LogHistogram& other);
+  void clear() noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+
+  // Upper bound of the bucket holding the q-quantile sample (q in [0, 1]);
+  // 0 when empty.  quantile(0.5)/quantile(0.99)/... are the p50/p99 the
+  // telemetry exporters report.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
+  // Inclusive upper edge of bucket i's value range.
+  [[nodiscard]] std::uint64_t bucket_upper(std::size_t i) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(std::uint64_t v) const noexcept;
+
+  unsigned sub_bits_;
+  std::uint64_t sub_count_;       // 2^sub_bits: linear cells per octave
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace gq

@@ -7,6 +7,7 @@
 #include "sim/failure_model.hpp"
 #include "sim/key.hpp"
 #include "sim/network.hpp"
+#include "sim/trace.hpp"
 
 namespace gq {
 namespace {
@@ -235,6 +236,24 @@ TEST(Network, BulkRecordMessagesAccountsAllTraffic) {
   EXPECT_EQ(net.metrics().messages, 1000000u);
   EXPECT_EQ(net.metrics().message_bits, 16000000u);
   EXPECT_EQ(net.metrics().max_message_bits, 16u);
+}
+
+TEST(TraceRecorder, CsvQuotesRfc4180) {
+  TraceRecorder trace;
+  trace.record("plain", 1, 0.5);
+  trace.record("comma,series", 2, 1.0);
+  trace.record("say \"what\"", 3, 2.0);
+  trace.record("line\nbreak", 4, 3.0);
+  const std::string csv = trace.to_csv();
+  // Plain names pass through unquoted; anything holding a comma, quote, or
+  // newline is wrapped in quotes with internal quotes doubled (RFC 4180),
+  // so a naive split-on-comma consumer fails loudly instead of silently
+  // mis-parsing shifted columns.
+  EXPECT_NE(csv.find("plain,1,"), std::string::npos);
+  EXPECT_NE(csv.find("\"comma,series\",2,"), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"what\"\"\",3,"), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\",4,"), std::string::npos);
+  EXPECT_EQ(csv.find("comma,series,2"), std::string::npos);
 }
 
 TEST(Metrics, SinceComputesDeltas) {

@@ -169,6 +169,86 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(LogHistogram, SmallValuesAreExact) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  // Values below 2^sub_bits land in exact unit buckets, so low quantiles
+  // are exact, not approximate.
+  EXPECT_EQ(h.quantile(1.0 / 8.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 7u);
+}
+
+TEST(LogHistogram, QuantileRelativeErrorIsBounded) {
+  LogHistogram h;  // sub_bits = 3: cells are 1/8 of an octave, <= 12.5% error
+  SplitMix64 rng(7);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = 1 + (rng() % (std::uint64_t{1} << 40));
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(std::ceil(q * values.size())) - 1);
+    const auto exact = static_cast<double>(values[rank]);
+    const auto approx = static_cast<double>(h.quantile(q));
+    // The histogram reports a bucket upper bound, so it can only
+    // overestimate, and by at most one sub-bucket cell (12.5%).
+    EXPECT_GE(approx, exact);
+    EXPECT_LE(approx, exact * 1.125 + 1.0);
+  }
+}
+
+TEST(LogHistogram, QuantileNeverExceedsMax) {
+  LogHistogram h;
+  h.add(1000);  // bucket upper bound is > 1000
+  EXPECT_EQ(h.quantile(0.5), 1000u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedStream) {
+  LogHistogram a, b, both;
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng() % 1000000;
+    if (i % 2 == 0) {
+      a.add(v);
+    } else {
+      b.add(v);
+    }
+    both.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), both.total());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), both.quantile(q));
+  }
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedResolution) {
+  LogHistogram a(3), b(4);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LogHistogram, ClearResets) {
+  LogHistogram h;
+  h.add(42);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  h.add(7);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.quantile(0.5), 7u);
+}
+
 TEST(Require, ThrowsWithContext) {
   try {
     GQ_REQUIRE(false, "custom context");
