@@ -1,0 +1,42 @@
+// The adversarially-robust quantile and mean pipelines (arXiv 2502.15320)
+// on the sequential Network executor.
+//
+// Unlike the Section-5 robust variants — which assume an *oblivious*
+// failure model and oversample accordingly — these pipelines survive an
+// adaptive, budget-bounded adversary (sim/adversary.hpp) by filtering:
+// every tournament sample is the median of a group of pulls, so moving one
+// sample costs the adversary a majority of a group.  Install a strategy
+// with Network::set_adversary before calling; with none installed the
+// pipelines run the same schedule fault-free (budget-0 transcripts are
+// pinned identical to that in tests/test_adversary.cpp).
+//
+// Both pipelines degrade gracefully: the result carries a QualityReport
+// (served fraction, fault tallies, corruption exposure) instead of failing
+// silently.  Control flow is shared with the Engine overloads
+// (engine/pipelines.hpp) via core/adversarial_pipeline.hpp, so the two
+// executors stay bit-identical at every thread count.
+#pragma once
+
+#include <span>
+
+#include "core/adversarial_pipeline.hpp"
+#include "sim/network.hpp"
+
+namespace gq {
+
+// Public entry point: `values[v]` is node v's input.
+[[nodiscard]] AdversarialQuantileResult adversarial_quantile(
+    Network& net, std::span<const double> values,
+    const AdversarialQuantileParams& params = {});
+
+// Key-level entry point for callers already holding tie-broken instances.
+[[nodiscard]] AdversarialQuantileResult adversarial_quantile_keys(
+    Network& net, std::span<const Key> keys,
+    const AdversarialQuantileParams& params = {});
+
+// Clip-bounded adversarially-robust mean estimation.
+[[nodiscard]] AdversarialMeanResult adversarial_mean(
+    Network& net, std::span<const double> values,
+    const AdversarialMeanParams& params = {});
+
+}  // namespace gq

@@ -10,7 +10,7 @@
 //
 //   uint32_t size();
 //   const Metrics& metrics();
-//   bool never_fails();
+//   bool faultless();   // no failure model AND no adversary installed
 //   ExactQuantileResult exact(span<const Key>, const ExactQuantileParams&);
 //   TwoTournamentOutcome   two(vector<Key>& state, phi, eps, truncate_last);
 //   ThreeTournamentOutcome three(vector<Key>& state, eps, k);
@@ -72,7 +72,7 @@ ApproxQuantileResult approx_quantile_keys_impl(
   // configuration lies in the original [phi - eps, phi + eps] window.
   const double phase2_eps = params.eps / 4.0;
 
-  if (ops.never_fails()) {
+  if (ops.faultless()) {
     const auto p1 = [&] {
       GQ_SPAN("approx/two_tournament");
       return ops.two(state, params.phi, params.eps, params.truncate_last);

@@ -19,9 +19,7 @@ struct NetworkApproxOps {
 
   [[nodiscard]] std::uint32_t size() const { return net.size(); }
   [[nodiscard]] const Metrics& metrics() const { return net.metrics(); }
-  [[nodiscard]] bool never_fails() const {
-    return net.failures().never_fails();
-  }
+  [[nodiscard]] bool faultless() const { return net.faultless(); }
 
   ExactQuantileResult exact(std::span<const Key> keys,
                             const ExactQuantileParams& params) {

@@ -27,9 +27,9 @@ ThreeTournamentOutcome three_tournament(Network& net, std::vector<Key>& state,
   GQ_REQUIRE(state.size() == n, "one key per node required");
   GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
   GQ_REQUIRE(final_sample_size >= 1, "final sample size must be positive");
-  GQ_REQUIRE(net.failures().never_fails(),
+  GQ_REQUIRE(net.faultless(),
              "three_tournament is the failure-free variant; use "
-             "robust_three_tournament under a failure model");
+             "robust_three_tournament under a failure model or adversary");
   const std::uint32_t k_samples = final_sample_size | 1u;  // force odd
 
   ThreeTournamentOutcome out;

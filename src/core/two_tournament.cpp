@@ -21,9 +21,9 @@ TwoTournamentOutcome two_tournament(Network& net, std::vector<Key>& state,
   GQ_REQUIRE(state.size() == n, "one key per node required");
   GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
   GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
-  GQ_REQUIRE(net.failures().never_fails(),
+  GQ_REQUIRE(net.faultless(),
              "two_tournament is the failure-free variant; use "
-             "robust_two_tournament under a failure model");
+             "robust_two_tournament under a failure model or adversary");
 
   TwoTournamentOutcome out;
   const auto [side, start] = tournament_side(phi, eps);

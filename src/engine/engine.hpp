@@ -74,6 +74,29 @@ class Engine {
   [[nodiscard]] const FailureModel& failures() const noexcept {
     return failures_;
   }
+
+  // ---- adversarial fault injection -------------------------------------
+  // Mirrors Network::set_adversary exactly (see sim/network.hpp for the
+  // contract): the strategy is borrowed, bound to (seed, n), and an
+  // oblivious strategy's drop model is absorbed into the failure model so
+  // FailureModel stays the exact special case on this executor too.
+  void set_adversary(AdversaryStrategy* adversary) {
+    adversary_ = adversary;
+    if (adversary_ != nullptr) {
+      adversary_->bind(seed_, n_);
+      if (const FailureModel* fm = adversary_->oblivious_model();
+          fm != nullptr && failures_.never_fails()) {
+        failures_ = *fm;
+      }
+    }
+  }
+  [[nodiscard]] AdversaryStrategy* adversary() const noexcept {
+    return adversary_;
+  }
+  [[nodiscard]] bool faultless() const noexcept {
+    return failures_.never_fails() && adversary_ == nullptr;
+  }
+
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] unsigned threads() const noexcept { return pool_.threads(); }
   [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
@@ -124,8 +147,19 @@ class Engine {
     return streams::node_stream(seed_, round_, v);
   }
 
+  // With an adversary installed, kDrop/kDelay faults read as failed
+  // operations here, exactly as on Network (see sim/network.hpp).
   [[nodiscard]] bool node_fails(std::uint32_t v) const {
-    return streams::node_fails(seed_, round_, v, failures_);
+    return op_fails(v, round_);
+  }
+
+  // Explicit-round variant for fused multi-round kernels that advance the
+  // round counter before running their node loops.
+  [[nodiscard]] bool op_fails(std::uint32_t v, std::uint64_t round) const {
+    if (streams::node_fails(seed_, round, v, failures_)) return true;
+    if (adversary_ == nullptr) return false;
+    const Fault f = adversary_->fault(v, round);
+    return f.kind == FaultKind::kDrop || f.kind == FaultKind::kDelay;
   }
 
   [[nodiscard]] std::uint32_t sample_peer(std::uint32_t v,
@@ -145,9 +179,12 @@ class Engine {
   // the engine alive between queries.  Metrics keep accumulating across
   // resets (service-lifetime accounting); callers wanting per-query deltas
   // snapshot metrics() around the call.
-  void reset_stream(std::uint64_t seed) noexcept {
+  void reset_stream(std::uint64_t seed) {
     seed_ = seed;
     round_ = 0;
+    // Re-bind so strategy randomness rebases with the stream (bind may
+    // allocate, hence no noexcept).
+    if (adversary_ != nullptr) adversary_->bind(seed_, n_);
   }
 
   // ---- sharded execution -----------------------------------------------
@@ -244,6 +281,7 @@ class Engine {
   std::uint32_t n_;
   std::uint64_t seed_;
   FailureModel failures_;
+  AdversaryStrategy* adversary_ = nullptr;  // borrowed; see set_adversary
   EngineConfig config_;
   std::uint64_t round_ = 0;
   Metrics metrics_;

@@ -504,9 +504,9 @@ TwoTournamentOutcome two_tournament(Engine& engine, std::vector<Key>& state,
   GQ_REQUIRE(state.size() == n, "one key per node required");
   GQ_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0,1]");
   GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
-  GQ_REQUIRE(engine.failures().never_fails(),
+  GQ_REQUIRE(engine.faultless(),
              "two_tournament is the failure-free variant; use "
-             "robust_two_tournament under a failure model");
+             "robust_two_tournament under a failure model or adversary");
 
   TwoTournamentOutcome out;
   const auto [side, start] = tournament_side(phi, eps);
@@ -550,9 +550,9 @@ ThreeTournamentOutcome three_tournament(Engine& engine,
   GQ_REQUIRE(state.size() == n, "one key per node required");
   GQ_REQUIRE(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
   GQ_REQUIRE(final_sample_size >= 1, "final sample size must be positive");
-  GQ_REQUIRE(engine.failures().never_fails(),
+  GQ_REQUIRE(engine.faultless(),
              "three_tournament is the failure-free variant; use "
-             "robust_three_tournament under a failure model");
+             "robust_three_tournament under a failure model or adversary");
   const std::uint32_t k_samples = final_sample_size | 1u;  // force odd
 
   ThreeTournamentOutcome out;
@@ -739,8 +739,7 @@ class EngineRobustOps {
             const bool collecting = g_cur_[v] != 0;
             std::uint32_t recorded = 0;
             for (std::uint32_t r = 0; r < pulls; ++r) {
-              if (streams::node_fails(engine_.seed(), base + r, v,
-                                      engine_.failures())) {
+              if (engine_.op_fails(v, base + r)) {
                 ++local.failed_operations;
                 continue;
               }

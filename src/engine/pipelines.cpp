@@ -652,9 +652,7 @@ struct EngineApproxOps {
 
   [[nodiscard]] std::uint32_t size() const { return engine.size(); }
   [[nodiscard]] const Metrics& metrics() const { return engine.metrics(); }
-  [[nodiscard]] bool never_fails() const {
-    return engine.failures().never_fails();
-  }
+  [[nodiscard]] bool faultless() const { return engine.faultless(); }
 
   ExactQuantileResult exact(std::span<const Key> keys,
                             const ExactQuantileParams& params) {

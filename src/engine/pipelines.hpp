@@ -35,6 +35,7 @@
 
 #include "agg/rank_count.hpp"
 #include "agg/spread.hpp"
+#include "core/adversarial_pipeline.hpp"
 #include "core/params.hpp"
 #include "core/pivot.hpp"
 #include "core/result.hpp"
@@ -102,5 +103,20 @@ namespace gq {
 [[nodiscard]] OwnRankResult own_rank(Engine& engine,
                                      std::span<const double> values,
                                      const OwnRankParams& params);
+
+// The adversarially-robust pipelines (arXiv 2502.15320); see
+// core/adversarial.hpp for the model and core/adversarial_pipeline.hpp for
+// the shared control flow.  Install a strategy with Engine::set_adversary.
+// These kernels run on plain pooled Key buffers, never the interned rank
+// lanes — corrupt payloads are values the intern table has never seen.
+[[nodiscard]] AdversarialQuantileResult adversarial_quantile(
+    Engine& engine, std::span<const double> values,
+    const AdversarialQuantileParams& params = {});
+[[nodiscard]] AdversarialQuantileResult adversarial_quantile_keys(
+    Engine& engine, std::span<const Key> keys,
+    const AdversarialQuantileParams& params = {});
+[[nodiscard]] AdversarialMeanResult adversarial_mean(
+    Engine& engine, std::span<const double> values,
+    const AdversarialMeanParams& params = {});
 
 }  // namespace gq

@@ -1,0 +1,154 @@
+#include "sim/adversary.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "sim/streams.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace gq {
+
+// ---- ObliviousAdversary ---------------------------------------------------
+
+ObliviousAdversary::ObliviousAdversary(FailureModel model)
+    : model_(std::move(model)) {}
+
+std::uint64_t ObliviousAdversary::budget_per_round() const noexcept {
+  // An oblivious model is not budget-bounded: in the worst round every node's
+  // coin can come up "fail".
+  return n_;
+}
+
+Fault ObliviousAdversary::fault(std::uint32_t node, std::uint64_t round) const {
+  // The same coin the executors flip for their own failure model.  When the
+  // executor has absorbed model_ (the usual case), this is redundant with the
+  // executor's own draw — ORing identical coins is idempotent, so the
+  // transcript is unchanged; when it has not (a failure model was already
+  // installed), it composes as an independent drop source.
+  if (streams::node_fails(seed_, round, node, model_)) {
+    return Fault{.kind = FaultKind::kDrop};
+  }
+  return Fault{};
+}
+
+// ---- GreedyTargetedAdversary ----------------------------------------------
+
+GreedyTargetedAdversary::GreedyTargetedAdversary(std::uint32_t budget,
+                                                 double inject_value)
+    : budget_(budget), inject_value_(inject_value) {}
+
+void GreedyTargetedAdversary::bind(std::uint64_t seed, std::uint32_t n) {
+  AdversaryStrategy::bind(seed, n);
+  targets_.clear();
+  // Deterministic fallback until the first observation: the lowest node ids.
+  const std::uint32_t k = std::min(budget_, n);
+  targets_.reserve(k);
+  for (std::uint32_t v = 0; v < k; ++v) targets_.push_back(v);
+}
+
+void GreedyTargetedAdversary::observe(const RoundWindow& window) {
+  const std::uint32_t n = window.n;
+  const std::uint32_t k = std::min(budget_, n);
+  if (k == 0 || n == 0) return;
+  // Rank nodes by their current state, smallest first, ties by node id so the
+  // selection is total-ordered and executor-independent.
+  std::vector<std::pair<double, std::uint32_t>> order;
+  order.reserve(n);
+  if (!window.keys.empty()) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      order.emplace_back(window.keys[v].value, v);
+    }
+  } else {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      order.emplace_back(window.values[v], v);
+    }
+  }
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end());
+  targets_.clear();
+  for (std::uint32_t i = 0; i < k; ++i) targets_.push_back(order[i].second);
+  std::sort(targets_.begin(), targets_.end());
+}
+
+Fault GreedyTargetedAdversary::fault(std::uint32_t node,
+                                     std::uint64_t /*round*/) const {
+  if (std::binary_search(targets_.begin(), targets_.end(), node)) {
+    return Fault{.kind = FaultKind::kCorrupt, .value = inject_value_};
+  }
+  return Fault{};
+}
+
+// ---- EclipseAdversary -----------------------------------------------------
+
+EclipseAdversary::EclipseAdversary(std::uint32_t first_target,
+                                   std::uint32_t budget)
+    : first_target_(first_target), budget_(budget) {}
+
+Fault EclipseAdversary::fault(std::uint32_t node,
+                              std::uint64_t /*round*/) const {
+  if (node >= first_target_ && node - first_target_ < budget_) {
+    return Fault{.kind = FaultKind::kDrop};
+  }
+  return Fault{};
+}
+
+// ---- ScatterCorruptAdversary ----------------------------------------------
+
+ScatterCorruptAdversary::ScatterCorruptAdversary(std::uint32_t budget,
+                                                 double inject_value,
+                                                 std::uint64_t strategy_seed)
+    : budget_(budget),
+      inject_value_(inject_value),
+      strategy_seed_(strategy_seed) {}
+
+Fault ScatterCorruptAdversary::fault(std::uint32_t node,
+                                     std::uint64_t round) const {
+  if (budget_ == 0 || n_ == 0) return Fault{};
+  // Same wrapping-window scheme as BudgetBurstAdversary: a pure function of
+  // (bind seed, strategy seed, round), identical on both executors.
+  SplitMix64 gen(derive_seed(seed_ ^ (strategy_seed_ * 0x9e3779b97f4a7c15ULL),
+                             round));
+  const auto start = static_cast<std::uint32_t>(rand_index(gen, n_));
+  const std::uint32_t offset = node >= start ? node - start : node + n_ - start;
+  if (offset < budget_) {
+    return Fault{.kind = FaultKind::kCorrupt, .value = inject_value_};
+  }
+  return Fault{};
+}
+
+// ---- BudgetBurstAdversary -------------------------------------------------
+
+BudgetBurstAdversary::BudgetBurstAdversary(std::uint32_t budget,
+                                           std::uint32_t period,
+                                           std::uint32_t burst_rounds,
+                                           std::uint32_t delay,
+                                           std::uint64_t strategy_seed)
+    : budget_(budget),
+      period_(period),
+      burst_rounds_(burst_rounds),
+      delay_(delay),
+      strategy_seed_(strategy_seed) {
+  GQ_REQUIRE(period > 0, "burst period must be positive");
+  GQ_REQUIRE(burst_rounds <= period, "burst length cannot exceed the period");
+  GQ_REQUIRE(delay > 0, "a zero-round delay is not a fault");
+}
+
+Fault BudgetBurstAdversary::fault(std::uint32_t node,
+                                  std::uint64_t round) const {
+  if (budget_ == 0 || n_ == 0) return Fault{};
+  if (round % period_ >= burst_rounds_) return Fault{};
+  // Per-round pseudorandom window of `budget_` nodes (wrapping), a pure
+  // function of (bind seed, strategy seed, round) — identical on both
+  // executors regardless of which shard asks.
+  SplitMix64 gen(derive_seed(seed_ ^ (strategy_seed_ * 0x9e3779b97f4a7c15ULL),
+                             round));
+  const auto start = static_cast<std::uint32_t>(rand_index(gen, n_));
+  const std::uint32_t offset = node >= start ? node - start : node + n_ - start;
+  if (offset < budget_) {
+    return Fault{.kind = FaultKind::kDelay, .delay = delay_};
+  }
+  return Fault{};
+}
+
+}  // namespace gq

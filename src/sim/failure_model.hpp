@@ -48,13 +48,38 @@ class FailureModel {
     return fm;
   }
 
-  // Arbitrary schedule. `max_probability` must bound fn from above; it is
-  // reported through max_probability() so protocols can size their pull
-  // fan-out as Theta(1/(1-mu) * log(1/(1-mu))).
+  // Arbitrary schedule.  Contract:
+  //   * `fn` must be a *total* function: defined for every (node, round)
+  //     pair, including node indices beyond the network it ends up attached
+  //     to (per_node() returns 0.0 out of range, for example).
+  //   * `max_probability` must bound fn from above, and every value must lie
+  //     in [0, max_probability].  The bound is reported through
+  //     max_probability() and is what the robust protocols size their pull
+  //     fan-out with (Theta(1/(1-mu) * log(1/(1-mu)))); a schedule that
+  //     exceeds it silently starves the fan-out and voids Theorem 1.4's
+  //     guarantee.
+  // Construction spot-checks the bound on a fixed (node, round) probe grid
+  // and throws std::invalid_argument on a violation.  The probe is O(1) and
+  // runs in every build — it cannot prove the bound, but it catches the
+  // common footgun (passing a bound for a *different* schedule) at the
+  // construction site instead of as a silent accuracy loss mid-protocol.
   [[nodiscard]] static FailureModel custom(ProbabilityFn fn,
                                            double max_probability) {
     GQ_REQUIRE(max_probability >= 0.0 && max_probability < 1.0,
                "failure probability bound must be in [0,1)");
+    if (fn) {
+      for (const std::uint32_t v : {0u, 1u, 2u, 7u, 63u, 1023u}) {
+        for (const std::uint64_t r :
+             {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3},
+              std::uint64_t{17}, std::uint64_t{257}, std::uint64_t{65537}}) {
+          const double p = fn(v, r);
+          GQ_REQUIRE(p >= 0.0 && p <= max_probability,
+                     "custom failure schedule exceeds its declared "
+                     "max_probability bound (or is negative) on the "
+                     "construction-time probe grid");
+        }
+      }
+    }
     FailureModel fm;
     fm.fn_ = std::move(fn);
     fm.max_probability_ = max_probability;

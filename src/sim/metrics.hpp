@@ -62,6 +62,13 @@ struct Metrics {
   std::uint64_t max_message_bits = 0;   // largest single message
   std::uint64_t failed_operations = 0;  // node-rounds lost to failures
 
+  // Adversarial fault tallies (sim/adversary.hpp).  A faulted message is
+  // still billed as sent (the sender paid for it); these count what the
+  // adversary did to it in transit.  Zero on failure-model-only runs.
+  std::uint64_t adversary_dropped = 0;    // destroyed in transit
+  std::uint64_t adversary_corrupted = 0;  // payload replaced
+  std::uint64_t adversary_delayed = 0;    // delivery postponed
+
   // Cumulative count of messages per distinct size, sorted by size.
   metrics_detail::SizeCounts size_counts;
 
@@ -76,6 +83,9 @@ struct Metrics {
     message_bits = 0;
     max_message_bits = 0;
     failed_operations = 0;
+    adversary_dropped = 0;
+    adversary_corrupted = 0;
+    adversary_delayed = 0;
     size_counts.clear();
   }
 
@@ -87,7 +97,8 @@ struct Metrics {
   [[nodiscard]] bool empty() const noexcept {
     return rounds == 0 && messages == 0 && message_bits == 0 &&
            max_message_bits == 0 && failed_operations == 0 &&
-           size_counts.empty();
+           adversary_dropped == 0 && adversary_corrupted == 0 &&
+           adversary_delayed == 0 && size_counts.empty();
   }
 
   void record_message(std::uint64_t bits) { record_messages(1, bits); }
@@ -110,6 +121,9 @@ struct Metrics {
     message_bits += other.message_bits;
     max_message_bits = std::max(max_message_bits, other.max_message_bits);
     failed_operations += other.failed_operations;
+    adversary_dropped += other.adversary_dropped;
+    adversary_corrupted += other.adversary_corrupted;
+    adversary_delayed += other.adversary_delayed;
     for (const auto& [bits, count] : other.size_counts) {
       metrics_detail::add_size(size_counts, bits, count);
     }
@@ -125,6 +139,9 @@ struct Metrics {
     d.messages = messages - earlier.messages;
     d.message_bits = message_bits - earlier.message_bits;
     d.failed_operations = failed_operations - earlier.failed_operations;
+    d.adversary_dropped = adversary_dropped - earlier.adversary_dropped;
+    d.adversary_corrupted = adversary_corrupted - earlier.adversary_corrupted;
+    d.adversary_delayed = adversary_delayed - earlier.adversary_delayed;
     for (const auto& [bits, count] : size_counts) {
       const std::uint64_t before =
           metrics_detail::count_at(earlier.size_counts, bits);

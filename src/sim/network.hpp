@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/adversary.hpp"
 #include "sim/failure_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/streams.hpp"
@@ -50,6 +51,36 @@ class Network {
     return failures_;
   }
 
+  // ---- adversarial fault injection -------------------------------------
+
+  // Installs a message-level adversary (sim/adversary.hpp).  The strategy is
+  // borrowed, not owned — it must outlive the executor — and is bound to
+  // (seed, n) here.  An oblivious strategy's drop model is absorbed into
+  // this executor's failure model (when none is installed yet), which is
+  // what makes FailureModel the exact special case: fan-out sizing, failure
+  // coins, and transcripts match a model-constructed executor bit for bit.
+  // Pass nullptr to uninstall.
+  void set_adversary(AdversaryStrategy* adversary) {
+    adversary_ = adversary;
+    if (adversary_ != nullptr) {
+      adversary_->bind(seed_, n_);
+      if (const FailureModel* fm = adversary_->oblivious_model();
+          fm != nullptr && failures_.never_fails()) {
+        failures_ = *fm;
+      }
+    }
+  }
+  [[nodiscard]] AdversaryStrategy* adversary() const noexcept {
+    return adversary_;
+  }
+
+  // True iff no fault source is installed at all — no failure model and no
+  // adversary.  The failure-free pipeline variants key off this (the
+  // never_fails() of the pre-adversary era).
+  [[nodiscard]] bool faultless() const noexcept {
+    return failures_.never_fails() && adversary_ == nullptr;
+  }
+
   // ---- low-level primitives --------------------------------------------
 
   // Starts the next synchronous round and returns its index.
@@ -68,8 +99,21 @@ class Network {
 
   // Samples whether node v's operation fails in the current round.  Uses a
   // dedicated stream so the failure coin does not perturb peer choices.
+  // With an adversary installed, a kDrop or kDelay fault on v's message also
+  // reads as a failed operation here (legacy pipelines have no payload layer
+  // to corrupt or mailbox to delay into; kCorrupt is a no-op at this level —
+  // only the adversarial pipelines apply it).
   [[nodiscard]] bool node_fails(std::uint32_t v) const {
-    return streams::node_fails(seed_, round_, v, failures_);
+    return op_fails(v, round_);
+  }
+
+  // Explicit-round variant for fused multi-round kernels that advance the
+  // round counter up front (see engine/kernels.cpp).
+  [[nodiscard]] bool op_fails(std::uint32_t v, std::uint64_t round) const {
+    if (streams::node_fails(seed_, round, v, failures_)) return true;
+    if (adversary_ == nullptr) return false;
+    const Fault f = adversary_->fault(v, round);
+    return f.kind == FaultKind::kDrop || f.kind == FaultKind::kDelay;
   }
 
   // Uniformly random node other than v, drawn from `stream`.
@@ -85,6 +129,13 @@ class Network {
   }
   void record_message(std::uint64_t bits) { metrics_.record_message(bits); }
   void record_failed_operation() noexcept { ++metrics_.failed_operations; }
+
+  // Folds a kernel-accumulated Metrics fragment (messages, failed
+  // operations, adversary tallies — never rounds; advance those through
+  // begin_round) into the run accounting.  The adversarial kernels batch
+  // their per-node accounting per fused block instead of calling
+  // record_message once per message.
+  void merge_metrics(const Metrics& fragment) { metrics_.merge(fragment); }
 
   // ---- whole-round helpers ---------------------------------------------
 
@@ -111,6 +162,7 @@ class Network {
   std::uint32_t n_;
   std::uint64_t seed_;
   FailureModel failures_;
+  AdversaryStrategy* adversary_ = nullptr;  // borrowed; see set_adversary
   std::uint64_t round_ = 0;
   Metrics metrics_;
 };
