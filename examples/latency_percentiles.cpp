@@ -5,6 +5,10 @@
 // query.  A second ingest wave then advances the epoch and the same warm
 // session re-answers, showing the tail drift.
 //
+// All four percentiles ride ONE kMultiQuantile query: the shared-schedule
+// batch pipeline superimposes every target's tournament over a single
+// gossip run, so the sweep costs about one target's rounds instead of four.
+//
 //   build/examples/latency_percentiles
 #include <cstdio>
 #include <span>
@@ -17,25 +21,22 @@ namespace {
 
 constexpr double kPercentiles[] = {0.5, 0.9, 0.99, 0.999};
 
-// One monitoring sweep: a 4-point percentile batch against the warm session.
+// One monitoring sweep: all four percentiles batched into one shared
+// gossip run.
 void report(gq::QuantileService& fleet, const char* phase) {
-  std::vector<gq::QueryRequest> batch;
-  for (const double phi : kPercentiles) {
-    gq::QueryRequest request;
-    request.kind = gq::QueryKind::kQuantile;
-    request.phi = phi;
-    request.eps = 0.08;  // above eps_tournament_floor(16384) ~= 0.079
-    batch.push_back(request);
-  }
-  const auto replies = fleet.query_batch(batch);
+  gq::QueryRequest request;
+  request.kind = gq::QueryKind::kMultiQuantile;
+  request.phis.assign(std::begin(kPercentiles), std::end(kPercentiles));
+  request.eps = 0.08;  // above eps_tournament_floor(16384) ~= 0.079
+  const gq::QueryReply reply = fleet.query(request);
 
-  std::printf("%s (epoch %llu):\n", phase,
-              static_cast<unsigned long long>(replies[0].epoch));
-  std::printf("  %-6s | %-12s | %s\n", "pctl", "latency (ms)", "rounds");
-  for (std::size_t i = 0; i < replies.size(); ++i) {
-    std::printf("  p%-5.4g | %12.2f | %llu\n", 100 * kPercentiles[i],
-                replies[i].value,
-                static_cast<unsigned long long>(replies[i].rounds));
+  std::printf("%s (epoch %llu, one shared run of %llu rounds):\n", phase,
+              static_cast<unsigned long long>(reply.epoch),
+              static_cast<unsigned long long>(reply.rounds));
+  std::printf("  %-6s | %s\n", "pctl", "latency (ms)");
+  for (std::size_t i = 0; i < reply.multi_values.size(); ++i) {
+    std::printf("  p%-5.4g | %12.2f\n", 100 * kPercentiles[i],
+                reply.multi_values[i]);
   }
   std::printf("\n");
 }
@@ -92,9 +93,9 @@ int main() {
 
   std::printf(
       "Takeaway: the service keeps per-server state bounded while the warm "
-      "gossip session answers\npercentile batches in tens of rounds per "
-      "probe; tail percentiles (p99/p999) move with the\nrollout because "
-      "the resample policy weighs every request, not every server, "
-      "equally.\n");
+      "gossip session answers\na whole percentile sweep in one shared run "
+      "of tens of rounds; tail percentiles (p99/p999)\nmove with the "
+      "rollout because the resample policy weighs every request, not every "
+      "server,\nequally.\n");
   return 0;
 }

@@ -1,9 +1,13 @@
 // Batch quantile queries: several phi targets over the same input, the
 // building block behind Corollary 1.5 and the common "p50/p95/p99" use.
 //
-// Runs are composed sequentially (the model sends one message per node per
-// round), so rounds add up; the result records per-target outputs plus the
-// aggregate cost.
+// All unique targets ride ONE shared tournament schedule — per-node state
+// is a q-lane vector, every peer draw serves all lanes, and messages carry
+// the whole vector — so q targets cost roughly one pipeline's rounds
+// instead of q (see core/multi_pipeline.hpp for the protocol and the
+// routing rules that fall back to deduped independent runs).  Duplicated
+// targets are deduped before dispatch and mapped back to the caller's
+// order, so they never cost extra rounds or bits.
 #pragma once
 
 #include <span>
@@ -11,6 +15,7 @@
 
 #include "core/approx_quantile.hpp"
 #include "core/params.hpp"
+#include "sim/metrics.hpp"
 #include "sim/network.hpp"
 
 namespace gq {
@@ -24,7 +29,19 @@ struct MultiQuantileParams {
 
 struct MultiQuantileResult {
   std::vector<ApproxQuantileResult> per_phi;  // aligned with params.phis
-  std::uint64_t rounds = 0;                   // total across all targets
+  std::uint64_t rounds = 0;                   // total across the whole batch
+
+  // Full cost of the batch (messages, bits, per-size counts — not just
+  // rounds), so shared-vs-independent comparisons bill honest bytes.
+  Metrics metrics;
+
+  // True when the batch ran as one shared-schedule tournament; false when
+  // it routed through deduped independent runs (exact fallback, failure
+  // model/adversary, or more than kMaxSharedLanes unique targets).
+  bool shared_schedule = false;
+
+  // Unique targets after dedupe (the number of lanes or runs paid for).
+  std::size_t unique_targets = 0;
 
   // Convenience: node v's output value for target i.
   [[nodiscard]] double value(std::size_t i, std::uint32_t node) const {
@@ -34,6 +51,9 @@ struct MultiQuantileResult {
 
 [[nodiscard]] MultiQuantileResult multi_quantile(
     Network& net, std::span<const double> values,
+    const MultiQuantileParams& params);
+[[nodiscard]] MultiQuantileResult multi_quantile_keys(
+    Network& net, std::span<const Key> keys,
     const MultiQuantileParams& params);
 
 }  // namespace gq

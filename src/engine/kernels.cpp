@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -588,6 +589,292 @@ ThreeTournamentOutcome three_tournament(Engine& engine,
       [](const Key& k) { return k; }, &live);
   copy_keys(engine, {live, n}, state);
   return out;
+}
+
+// ---- shared-schedule multi-quantile kernels --------------------------------
+
+namespace {
+
+// The q-lane rank matrices of the shared multi-quantile schedule: node v's
+// lane l lives at mat[v * q + l], so one node's whole vector is contiguous
+// (q <= kMaxSharedLanes = 64 lanes = at most four cache lines) and a peer
+// gather prefetches rows, not scattered entries.  Ping-pong like the
+// single-lane kernels: the live matrix is the iteration-start snapshot,
+// commits write the other.  `tmask` carries each node's Round-B tournament
+// lane bitmask from the draw pass to the commit pass.
+struct MultiLaneScratch {
+  std::vector<std::uint32_t> mat_a, mat_b;
+  std::vector<std::uint64_t> tmask;
+  std::uint32_t q = 0;
+  bool a_live = true;
+
+  void ensure(std::uint32_t n, std::uint32_t q_lanes) {
+    const std::size_t cells = static_cast<std::size_t>(n) * q_lanes;
+    if (mat_a.size() < cells) {
+      mat_a.resize(cells);
+      mat_b.resize(cells);
+    }
+    if (tmask.size() < n) tmask.resize(n);
+  }
+};
+
+// Prefetches a node's whole q-lane row (one line per 16 lanes).
+inline void prefetch_lane_row(const std::uint32_t* row, std::uint32_t q) {
+  for (std::uint32_t off = 0; off < q; off += 16) prefetch_read(row + off);
+}
+
+}  // namespace
+
+void multi_tournament_begin(Engine& engine, std::span<const Key> keys,
+                            std::uint32_t lanes) {
+  const std::uint32_t n = engine.size();
+  GQ_REQUIRE(keys.size() == n, "one key per node required");
+  GQ_REQUIRE(lanes >= 1 && lanes <= kMaxSharedLanes,
+             "lane count must lie in [1, kMaxSharedLanes]");
+  GQ_REQUIRE(engine.faultless(),
+             "the shared multi-quantile schedule is the failure-free "
+             "variant; the pipeline routes robust runs per target");
+  auto& s = engine.scratch<MultiLaneScratch>();
+  auto& ls = engine.scratch<LaneScratch>();
+  auto& picks = engine.scratch<PickScratch>();
+  s.ensure(n, lanes);
+  picks.ensure(n);
+  s.q = lanes;
+  s.a_live = true;
+  // Intern once (or verify a live session), then broadcast each node's
+  // base rank across its q lane slots.  Lane A is not touched again, so
+  // the session claim it carries stays valid for the next kernel.
+  lane_import(engine, keys, ls);
+  const std::uint32_t* const base = ls.lane_a.data();
+  std::uint32_t* const mat = s.mat_a.data();
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics&) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          const std::uint32_t r = base[v];
+          std::uint32_t* const row =
+              mat + static_cast<std::size_t>(v) * lanes;
+          for (std::uint32_t l = 0; l < lanes; ++l) row[l] = r;
+        }
+      });
+}
+
+void multi_two_iteration(Engine& engine,
+                         std::span<const MultiLaneStep> steps) {
+  auto& s = engine.scratch<MultiLaneScratch>();
+  auto& picks = engine.scratch<PickScratch>();
+  const std::uint32_t n = engine.size();
+  const std::uint32_t q = s.q;
+  GQ_REQUIRE(steps.size() == q, "one step per lane required");
+  const std::uint64_t bits = key_bits(n);
+  std::uint64_t active = 0;
+  for (const MultiLaneStep& st : steps) active += st.active ? 1 : 0;
+  const std::span<std::uint32_t> first = picks.p0.span(n);
+  const std::span<std::uint32_t> second = picks.p1.span(n);
+  const std::uint32_t* const cur =
+      s.a_live ? s.mat_a.data() : s.mat_b.data();
+  std::uint32_t* const next = s.a_live ? s.mat_b.data() : s.mat_a.data();
+  std::uint64_t* const tmask = s.tmask.data();
+  const std::uint32_t block = engine.gather_block();
+
+  // Round A: one shared first sample per node; the message carries the
+  // active lanes.  Pick pass only — `cur` is the iteration snapshot.
+  engine.begin_round();
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+        for (std::uint32_t v = begin; v < end; ++v) {
+          SplitMix64 stream = engine.node_stream(v);
+          first[v] = engine.sample_peer(v, stream);
+        }
+        local.record_messages(end - begin, active * bits);
+      });
+
+  // Round B: per-lane delta coins in lane order (delta >= 1.0 consumes no
+  // draw, as in the sequential path), one shared second sample when any
+  // lane tournaments, then the blocked per-lane commit against warm rows.
+  // Messages are bucketed by tournament-lane count in per-shard
+  // accumulators and flushed once per bucket.
+  engine.begin_round();
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+        std::uint64_t counts[kMaxSharedLanes + 1] = {};
+        for (std::uint32_t b0 = begin; b0 < end; b0 += block) {
+          const std::uint32_t b1 = std::min(b0 + block, end);
+          for (std::uint32_t v = b0; v < b1; ++v) {
+            SplitMix64 stream = engine.node_stream(v);
+            std::uint64_t mask = 0;
+            for (std::uint32_t l = 0; l < q; ++l) {
+              if (!steps[l].active) continue;
+              const bool tournament =
+                  steps[l].delta >= 1.0 ||
+                  rand_bernoulli(stream, steps[l].delta);
+              if (tournament) mask |= std::uint64_t{1} << l;
+            }
+            tmask[v] = mask;
+            const auto t = static_cast<std::uint32_t>(std::popcount(mask));
+            ++counts[t];
+            second[v] =
+                t > 0 ? engine.sample_peer(v, stream) : Engine::kNoPeer;
+          }
+          for (std::uint32_t v = b0; v < b1; ++v) {
+            prefetch_lane_row(
+                cur + static_cast<std::size_t>(first[v]) * q, q);
+            if (second[v] != Engine::kNoPeer) {
+              prefetch_lane_row(
+                  cur + static_cast<std::size_t>(second[v]) * q, q);
+            }
+          }
+          for (std::uint32_t v = b0; v < b1; ++v) {
+            const std::uint32_t* const fa =
+                cur + static_cast<std::size_t>(first[v]) * q;
+            const std::uint32_t* const sa =
+                second[v] != Engine::kNoPeer
+                    ? cur + static_cast<std::size_t>(second[v]) * q
+                    : nullptr;
+            const std::uint32_t* const own =
+                cur + static_cast<std::size_t>(v) * q;
+            std::uint32_t* const out =
+                next + static_cast<std::size_t>(v) * q;
+            const std::uint64_t mask = tmask[v];
+            for (std::uint32_t l = 0; l < q; ++l) {
+              if (!steps[l].active) {
+                out[l] = own[l];  // finished lane keeps its value
+              } else if ((mask >> l) & 1) {
+                out[l] = steps[l].suppress_high ? std::min(fa[l], sa[l])
+                                                : std::max(fa[l], sa[l]);
+              } else {
+                out[l] = fa[l];
+              }
+            }
+          }
+        }
+        for (std::uint32_t t = 1; t <= q; ++t) {
+          local.record_messages(counts[t], t * bits);
+        }
+      });
+  s.a_live = !s.a_live;
+}
+
+void multi_three_iteration(Engine& engine) {
+  auto& s = engine.scratch<MultiLaneScratch>();
+  auto& picks = engine.scratch<PickScratch>();
+  const std::uint32_t n = engine.size();
+  const std::uint32_t q = s.q;
+  const std::uint64_t bits = key_bits(n);
+  const std::array<std::span<std::uint32_t>, 3> pk = {
+      picks.p0.span(n), picks.p1.span(n), picks.p2.span(n)};
+  const std::uint32_t* const cur =
+      s.a_live ? s.mat_a.data() : s.mat_b.data();
+  std::uint32_t* const next = s.a_live ? s.mat_b.data() : s.mat_a.data();
+  const std::uint32_t block = engine.gather_block();
+
+  // Three shared pulls = three rounds reading the iteration-start matrix;
+  // every message carries the full q-lane vector.  The first two are pure
+  // pick passes; the third is blocked with the per-lane median commit
+  // fused in against warm rows.
+  for (int pull = 0; pull < 3; ++pull) {
+    engine.begin_round();
+    engine.parallel_shards(
+        [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+          const auto& out_picks = pk[static_cast<std::size_t>(pull)];
+          if (pull < 2) {
+            for (std::uint32_t v = begin; v < end; ++v) {
+              SplitMix64 stream = engine.node_stream(v);
+              out_picks[v] = engine.sample_peer(v, stream);
+            }
+          } else {
+            for (std::uint32_t b0 = begin; b0 < end; b0 += block) {
+              const std::uint32_t b1 = std::min(b0 + block, end);
+              for (std::uint32_t v = b0; v < b1; ++v) {
+                SplitMix64 stream = engine.node_stream(v);
+                out_picks[v] = engine.sample_peer(v, stream);
+              }
+              for (std::uint32_t v = b0; v < b1; ++v) {
+                prefetch_lane_row(
+                    cur + static_cast<std::size_t>(pk[0][v]) * q, q);
+                prefetch_lane_row(
+                    cur + static_cast<std::size_t>(pk[1][v]) * q, q);
+                prefetch_lane_row(
+                    cur + static_cast<std::size_t>(pk[2][v]) * q, q);
+              }
+              for (std::uint32_t v = b0; v < b1; ++v) {
+                const std::uint32_t* const r0 =
+                    cur + static_cast<std::size_t>(pk[0][v]) * q;
+                const std::uint32_t* const r1 =
+                    cur + static_cast<std::size_t>(pk[1][v]) * q;
+                const std::uint32_t* const r2 =
+                    cur + static_cast<std::size_t>(pk[2][v]) * q;
+                std::uint32_t* const out =
+                    next + static_cast<std::size_t>(v) * q;
+                for (std::uint32_t l = 0; l < q; ++l) {
+                  out[l] = median3(r0[l], r1[l], r2[l]);
+                }
+              }
+            }
+          }
+          local.record_messages(end - begin, q * bits);
+        });
+  }
+  s.a_live = !s.a_live;
+}
+
+void multi_final_sample(Engine& engine, std::uint32_t k_samples,
+                        std::vector<std::vector<Key>>& outputs) {
+  auto& s = engine.scratch<MultiLaneScratch>();
+  auto& lanes = engine.scratch<LaneScratch>();
+  auto& picks = engine.scratch<PickScratch>();
+  const std::uint32_t n = engine.size();
+  const std::uint32_t q = s.q;
+  const std::uint64_t bits = key_bits(n);
+  const std::uint32_t* const cur =
+      s.a_live ? s.mat_a.data() : s.mat_b.data();
+
+  // K shared sampling rounds fused into one parallel section, exactly like
+  // the single-target kernel (see three_tournament_rounds): the round
+  // counter advances K times up front and each node derives the per-round
+  // streams directly, so draws and Metrics are bit-identical to K
+  // per-round sweeps.  Each node's K picks are drawn (and their rows
+  // prefetched) before its q per-lane medians fold.
+  const std::uint64_t first_sample_round = engine.round() + 1;
+  for (std::uint32_t j = 0; j < k_samples; ++j) engine.begin_round();
+  outputs.assign(q, std::vector<Key>(n));
+  constexpr std::uint32_t kMaxStackSamples = 64;
+  const std::size_t shards = engine.num_shards();
+  const auto wide_k = static_cast<std::size_t>(k_samples);
+  if (k_samples > kMaxStackSamples) {
+    picks.ensure_wide(2 * shards * wide_k);
+  }
+  engine.parallel_shards(
+      [&](std::uint32_t begin, std::uint32_t end, Metrics& local) {
+        std::uint32_t stack_picks[kMaxStackSamples];
+        std::uint32_t stack_samples[kMaxStackSamples];
+        std::uint32_t* pick = stack_picks;
+        std::uint32_t* samp = stack_samples;
+        if (k_samples > kMaxStackSamples) {
+          const std::size_t shard = engine.shard_of(begin);
+          pick = picks.wide.data() + shard * wide_k;
+          samp = picks.wide.data() + (shards + shard) * wide_k;
+        }
+        for (std::uint32_t v = begin; v < end; ++v) {
+          for (std::uint32_t j = 0; j < k_samples; ++j) {
+            SplitMix64 stream = streams::node_stream(
+                engine.seed(), first_sample_round + j, v);
+            pick[j] = engine.sample_peer(v, stream);
+            prefetch_lane_row(
+                cur + static_cast<std::size_t>(pick[j]) * q, q);
+          }
+          for (std::uint32_t l = 0; l < q; ++l) {
+            for (std::uint32_t j = 0; j < k_samples; ++j) {
+              samp[j] = cur[static_cast<std::size_t>(pick[j]) * q + l];
+            }
+            std::uint32_t* const mid = samp + k_samples / 2;
+            std::nth_element(samp, mid, samp + k_samples);
+            outputs[l][v] = lanes.interner.key_at(*mid);
+          }
+        }
+        local.record_messages(
+            static_cast<std::uint64_t>(k_samples) * (end - begin),
+            q * bits);
+      });
 }
 
 // ---- robust (failure-model) kernels ---------------------------------------

@@ -58,6 +58,7 @@
 #include <span>
 #include <vector>
 
+#include "core/multi_pipeline.hpp"
 #include "core/robust_pipeline.hpp"
 #include "core/three_tournament.hpp"
 #include "core/two_tournament.hpp"
@@ -106,6 +107,32 @@ RobustThreeTournamentOutcome robust_three_tournament(
 // consumed; see core/robust.hpp.
 std::uint64_t robust_coverage(Engine& engine, std::vector<Key>& outputs,
                               std::vector<bool>& valid, std::uint32_t t);
+
+// ---- shared-schedule multi-quantile kernels (core/multi_pipeline.hpp) -----
+//
+// Per-node state is a node-major q-lane matrix of interned ranks (q lanes
+// x 4 bytes: q = 16 lanes fit one cache line), ping-ponged like the single
+// lanes above; one peer draw per node per round serves every lane, and the
+// blocked gather prefetches whole peer *rows*.  The key multiset is
+// interned ONCE in multi_tournament_begin — always interned, regardless of
+// EngineConfig::intern_min_nodes: a Key-typed lane matrix would duplicate
+// every kernel for a representation that is unobservable (same draws, same
+// commits, same Metrics), and the one O(n log n) sort is amortised over q
+// lanes of gather rounds.  The intern session's lane A is left untouched,
+// so a service session's adopted encoding stays valid across multi runs.
+//
+// Failure-free only: the shared control flow routes robust runs through
+// per-target robust pipelines (see core/multi_pipeline.hpp).  Driven by
+// engine/pipelines.cpp through the shared template; bit-identity against
+// the sequential core/multi_quantile.cpp instantiation is pinned by
+// tests/test_engine_multi.cpp at 1/2/8 threads.
+void multi_tournament_begin(Engine& engine, std::span<const Key> keys,
+                            std::uint32_t lanes);
+void multi_two_iteration(Engine& engine,
+                         std::span<const MultiLaneStep> steps);
+void multi_three_iteration(Engine& engine);
+void multi_final_sample(Engine& engine, std::uint32_t k_samples,
+                        std::vector<std::vector<Key>>& outputs);
 
 // Session reuse hook for long-lived callers (src/service/): seeds the
 // kernels' interned session with an externally maintained encoding of the

@@ -685,6 +685,35 @@ struct EngineApproxOps {
   }
 };
 
+// The engine instantiation of the shared multi-quantile control flow in
+// core/multi_pipeline.hpp; the sequential twin lives in
+// core/multi_quantile.cpp.  Thin forwarders to the multi-lane kernels in
+// engine/kernels.cpp, plus the single-target approx pipeline for the
+// deduped fallback route.
+struct EngineMultiOps {
+  Engine& engine;
+
+  [[nodiscard]] std::uint32_t size() const { return engine.size(); }
+  [[nodiscard]] const Metrics& metrics() const { return engine.metrics(); }
+  [[nodiscard]] bool faultless() const { return engine.faultless(); }
+
+  ApproxQuantileResult approx(std::span<const Key> keys,
+                              const ApproxQuantileParams& params) {
+    return approx_quantile_keys(engine, keys, params);
+  }
+  void begin(std::span<const Key> keys, std::size_t lanes) {
+    multi_tournament_begin(engine, keys, static_cast<std::uint32_t>(lanes));
+  }
+  void two_iteration(std::span<const MultiLaneStep> steps) {
+    multi_two_iteration(engine, steps);
+  }
+  void three_iteration() { multi_three_iteration(engine); }
+  void final_sample(std::uint32_t k_samples,
+                    std::vector<std::vector<Key>>& outputs) {
+    multi_final_sample(engine, k_samples, outputs);
+  }
+};
+
 }  // namespace
 
 ApproxQuantileResult approx_quantile_keys(Engine& engine,
@@ -692,6 +721,20 @@ ApproxQuantileResult approx_quantile_keys(Engine& engine,
                                           const ApproxQuantileParams& params) {
   EngineApproxOps ops{engine};
   return approx_detail::approx_quantile_keys_impl(ops, keys, params);
+}
+
+MultiQuantileResult multi_quantile_keys(Engine& engine,
+                                        std::span<const Key> keys,
+                                        const MultiQuantileParams& params) {
+  EngineMultiOps ops{engine};
+  return multi_detail::multi_quantile_keys_impl(ops, keys, params);
+}
+
+MultiQuantileResult multi_quantile(Engine& engine,
+                                   std::span<const double> values,
+                                   const MultiQuantileParams& params) {
+  const std::vector<Key> keys = make_keys(values);
+  return multi_quantile_keys(engine, keys, params);
 }
 
 ApproxQuantileResult approx_quantile(Engine& engine,

@@ -36,6 +36,7 @@
 #include "agg/rank_count.hpp"
 #include "agg/spread.hpp"
 #include "core/adversarial_pipeline.hpp"
+#include "core/multi_quantile.hpp"
 #include "core/params.hpp"
 #include "core/pivot.hpp"
 #include "core/result.hpp"
@@ -90,6 +91,17 @@ namespace gq {
 [[nodiscard]] ApproxQuantileResult approx_quantile_keys(
     Engine& engine, std::span<const Key> keys,
     const ApproxQuantileParams& params);
+
+// Corollary 1.5, all q targets in ONE shared tournament schedule; see
+// core/multi_quantile.hpp and core/multi_pipeline.hpp.  Bit-identical to
+// the sequential multi_quantile at every thread count
+// (tests/test_engine_multi.cpp).
+[[nodiscard]] MultiQuantileResult multi_quantile(
+    Engine& engine, std::span<const double> values,
+    const MultiQuantileParams& params);
+[[nodiscard]] MultiQuantileResult multi_quantile_keys(
+    Engine& engine, std::span<const Key> keys,
+    const MultiQuantileParams& params);
 
 // Algorithm 3, exact phi-quantile; see core/exact_quantile.hpp.
 [[nodiscard]] ExactQuantileResult exact_quantile(

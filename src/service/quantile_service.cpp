@@ -15,7 +15,7 @@ namespace gq {
 namespace {
 
 constexpr const char* kQueryKindNames[] = {"quantile", "exact_quantile",
-                                           "rank", "cdf"};
+                                           "rank", "cdf", "multi_quantile"};
 
 // Disjoint sub-seed spaces off the master seed, so node summaries, query
 // streams, and the resample merge can never collide.
@@ -182,6 +182,11 @@ QueryReply QuantileService::query(const QueryRequest& request) {
       reply = run_cdf(request, seed);
       break;
     }
+    case QueryKind::kMultiQuantile: {
+      GQ_SPAN("service/query_multi_quantile");
+      reply = run_multi_quantile(request, seed);
+      break;
+    }
   }
   if (t0 != 0) {
     query_latency_ns_[static_cast<std::size_t>(request.kind)].add(
@@ -228,6 +233,48 @@ QueryReply QuantileService::run_quantile(const QueryRequest& request,
   reply.served = static_cast<std::uint32_t>(res.served_nodes());
   reply.used_exact_fallback = res.used_exact_fallback;
   reply.transcript_hash = transcript_hash(res.outputs, res.valid);
+  return reply;
+}
+
+QueryReply QuantileService::run_multi_quantile(const QueryRequest& request,
+                                               std::uint64_t /*seed*/) {
+  MultiQuantileParams params;
+  params.phis = request.phis;
+  params.eps = cfg_.approx.eps;
+  params.final_sample_size = cfg_.approx.final_sample_size;
+  params.robust_coverage_rounds = cfg_.approx.robust_coverage_rounds;
+  if (request.eps > 0.0) params.eps = request.eps;
+  const MultiQuantileResult res =
+      multi_quantile_keys(*engine_, instance_, params);
+  QueryReply reply;
+  reply.kind = QueryKind::kMultiQuantile;
+  reply.multi_answers.reserve(res.per_phi.size());
+  reply.multi_values.reserve(res.per_phi.size());
+  std::vector<std::uint64_t> target_hashes;
+  target_hashes.reserve(res.per_phi.size());
+  std::uint32_t served_min =
+      static_cast<std::uint32_t>(instance_.size());
+  for (const ApproxQuantileResult& r : res.per_phi) {
+    Key answer{};
+    for (std::size_t v = 0; v < r.valid.size(); ++v) {
+      if (r.valid[v]) {
+        answer = r.outputs[v];
+        break;
+      }
+    }
+    reply.multi_answers.push_back(answer);
+    reply.multi_values.push_back(answer.value);
+    target_hashes.push_back(transcript_hash(r.outputs, r.valid));
+    served_min = std::min(
+        served_min, static_cast<std::uint32_t>(r.served_nodes()));
+    reply.used_exact_fallback |= r.used_exact_fallback;
+  }
+  reply.rounds = res.rounds;
+  reply.served = served_min;
+  // FNV-chain the per-target transcript hashes (not XOR: duplicated
+  // targets have identical transcripts and would cancel).
+  reply.transcript_hash = transcript_hash_counts(
+      {target_hashes.data(), target_hashes.size()});
   return reply;
 }
 

@@ -144,6 +144,8 @@ class QuantileService {
   QueryReply run_exact(const QueryRequest& request, std::uint64_t seed);
   QueryReply run_rank(const QueryRequest& request, std::uint64_t seed);
   QueryReply run_cdf(const QueryRequest& request, std::uint64_t seed);
+  QueryReply run_multi_quantile(const QueryRequest& request,
+                                std::uint64_t seed);
 
   ServiceConfig cfg_;
   // Index = node id; departed nodes leave a null slot (ids stay stable).
@@ -160,7 +162,7 @@ class QuantileService {
   std::uint64_t ingested_ = 0;
   std::uint64_t engine_rebuilds_ = 0;
   std::vector<bool> indicator_a_, indicator_b_, indicator_c_;  // rank scratch
-  std::array<LogHistogram, 4> query_latency_ns_;  // indexed by QueryKind
+  std::array<LogHistogram, 5> query_latency_ns_;  // indexed by QueryKind
 };
 
 }  // namespace gq

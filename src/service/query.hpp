@@ -14,6 +14,7 @@ enum class QueryKind {
   kExactQuantile,  // phi-quantile via Algorithm 3 (exact over the instance)
   kRank,           // #{instance keys <= value} via exact gossip counting
   kCdf,            // kRank for a batch of points, three per diffusion
+  kMultiQuantile,  // all phi targets in ONE shared tournament schedule
 };
 
 struct QueryRequest {
@@ -23,6 +24,7 @@ struct QueryRequest {
 
   double value = 0.0;              // kRank: the probe point
   std::vector<double> cdf_points;  // kCdf: the probe points
+  std::vector<double> phis;        // kMultiQuantile: the targets
 
   // Per-request overrides of the service-config pipeline defaults;
   // 0 keeps the default.
@@ -52,6 +54,12 @@ struct QueryReply {
   double fraction = 0.0;
   std::vector<std::uint64_t> cdf_counts;
   std::vector<double> cdf;
+
+  // kMultiQuantile: one answer per request phi (duplicated targets share
+  // one gossip lane but still get their own reply slot); `multi_values`
+  // mirrors multi_answers[i].value.
+  std::vector<Key> multi_answers;
+  std::vector<double> multi_values;
 
   std::uint64_t epoch = 0;   // sealed epoch this query observed
   std::uint64_t seed = 0;    // engine stream seed the query ran under

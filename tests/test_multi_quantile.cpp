@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 #include "analysis/rank_stats.hpp"
+#include "analysis/theory_bounds.hpp"
+#include "core/approx_quantile.hpp"
 #include "core/multi_quantile.hpp"
 #include "sim/trace.hpp"
 #include "workload/distributions.hpp"
@@ -25,6 +29,7 @@ TEST(MultiQuantile, AllTargetsWithinEps) {
   params.eps = 0.12;
   const auto r = multi_quantile(net, values, params);
   ASSERT_EQ(r.per_phi.size(), 4u);
+  EXPECT_TRUE(r.shared_schedule);
   for (std::size_t i = 0; i < params.phis.size(); ++i) {
     const auto s = evaluate_outputs(scale, r.per_phi[i].outputs,
                                     params.phis[i], params.eps);
@@ -32,18 +37,149 @@ TEST(MultiQuantile, AllTargetsWithinEps) {
   }
 }
 
-TEST(MultiQuantile, RoundsAreSumOfRuns) {
-  constexpr std::uint32_t kN = 4096;
+TEST(MultiQuantile, SharedScheduleCostsOnePipeline) {
+  // The tentpole invariant: all q targets ride ONE tournament schedule, so
+  // the batch costs max-of-schedules rounds — every per-target result
+  // reports the shared total, and the whole run stays within ~1.3x of a
+  // single-target pipeline instead of ~q x.  eps must clear
+  // eps_tournament_floor(kN) (~0.099 at 8192) or the batch routes to the
+  // exact fallback instead of the shared schedule.
+  constexpr std::uint32_t kN = 8192;
   const auto values = generate_values(Distribution::kUniformReal, kN, 7);
-  Network net(kN, 9);
   MultiQuantileParams params;
-  params.phis = {0.1, 0.5, 0.9};
-  params.eps = 0.15;
+  params.phis = {0.5, 0.9, 0.99, 0.999};
+  params.eps = 0.1;
+  ASSERT_GE(params.eps, eps_tournament_floor(kN));
+
+  Network net(kN, 9);
   const auto r = multi_quantile(net, values, params);
-  std::uint64_t sum = 0;
-  for (const auto& run : r.per_phi) sum += run.rounds;
-  EXPECT_EQ(r.rounds, sum);
+  EXPECT_TRUE(r.shared_schedule);
+  EXPECT_EQ(r.unique_targets, 4u);
   EXPECT_EQ(r.rounds, net.metrics().rounds);
+  EXPECT_EQ(r.metrics.rounds, r.rounds);
+  for (const auto& run : r.per_phi) EXPECT_EQ(run.rounds, r.rounds);
+
+  // Single-target reference: the most expensive target alone.
+  std::uint64_t single_max = 0;
+  std::uint64_t independent_sum = 0;
+  ApproxQuantileParams ap;
+  ap.eps = params.eps;
+  for (const double phi : params.phis) {
+    Network ref(kN, 9);
+    ap.phi = phi;
+    const auto one = approx_quantile(ref, values, ap);
+    single_max = std::max(single_max, one.rounds);
+    independent_sum += one.rounds;
+  }
+  EXPECT_LE(static_cast<double>(r.rounds),
+            1.3 * static_cast<double>(single_max));
+  EXPECT_LT(r.rounds, independent_sum / 2);
+}
+
+TEST(MultiQuantile, SingleTargetMatchesApproxQuantile) {
+  // q = 1 shared run is bit-identical to the single-target pipeline: same
+  // outputs, same rounds, same Metrics.
+  constexpr std::uint32_t kN = 2048;
+  const auto values = generate_values(Distribution::kExponential, kN, 21);
+
+  Network ref(kN, 23);
+  ApproxQuantileParams ap;
+  ap.phi = 0.9;
+  ap.eps = 0.2;
+  const auto one = approx_quantile(ref, values, ap);
+
+  Network net(kN, 23);
+  MultiQuantileParams params;
+  params.phis = {0.9};
+  params.eps = 0.2;
+  const auto r = multi_quantile(net, values, params);
+  ASSERT_TRUE(r.shared_schedule);
+  EXPECT_EQ(r.per_phi[0].outputs, one.outputs);
+  EXPECT_EQ(r.per_phi[0].phase1_iterations, one.phase1_iterations);
+  EXPECT_EQ(r.per_phi[0].phase2_iterations, one.phase2_iterations);
+  EXPECT_EQ(r.rounds, one.rounds);
+  EXPECT_TRUE(net.metrics() == ref.metrics());
+}
+
+TEST(MultiQuantile, DuplicateTargetsCostNoExtraRoundsOrBits) {
+  // Duplicated phis dedupe into one lane: same transcript (rounds AND
+  // bits) as the deduped target list, results mapped back per caller slot.
+  constexpr std::uint32_t kN = 2048;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 31);
+  MultiQuantileParams dup;
+  dup.phis = {0.5, 0.9, 0.5, 0.9, 0.9};
+  dup.eps = 0.2;
+  MultiQuantileParams ded;
+  ded.phis = {0.5, 0.9};
+  ded.eps = 0.2;
+
+  Network net_dup(kN, 33);
+  const auto rd = multi_quantile(net_dup, values, dup);
+  Network net_ded(kN, 33);
+  const auto rr = multi_quantile(net_ded, values, ded);
+
+  EXPECT_EQ(rd.unique_targets, 2u);
+  EXPECT_EQ(rd.rounds, rr.rounds);
+  EXPECT_TRUE(net_dup.metrics() == net_ded.metrics());
+  EXPECT_TRUE(rd.metrics == rr.metrics);
+  EXPECT_EQ(rd.per_phi[0].outputs, rr.per_phi[0].outputs);
+  EXPECT_EQ(rd.per_phi[1].outputs, rr.per_phi[1].outputs);
+  EXPECT_EQ(rd.per_phi[2].outputs, rr.per_phi[0].outputs);
+  EXPECT_EQ(rd.per_phi[3].outputs, rr.per_phi[1].outputs);
+  EXPECT_EQ(rd.per_phi[4].outputs, rr.per_phi[1].outputs);
+}
+
+TEST(MultiQuantile, MetricsCarryTheFullBatchCost) {
+  // The result's merged Metrics equals the network's own accounting of the
+  // run — messages and bits, not just rounds.
+  constexpr std::uint32_t kN = 2048;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 41);
+  Network net(kN, 43);
+  MultiQuantileParams params;
+  params.phis = {0.25, 0.75};
+  params.eps = 0.2;
+  const auto r = multi_quantile(net, values, params);
+  EXPECT_TRUE(r.metrics == net.metrics());
+  EXPECT_GT(r.metrics.messages, 0u);
+  EXPECT_GT(r.metrics.message_bits, 0u);
+}
+
+TEST(MultiQuantile, FallsBackToPerTargetRunsUnderFailures) {
+  // A failure model routes through deduped per-target robust pipelines;
+  // duplicated targets still cost nothing extra.
+  constexpr std::uint32_t kN = 2048;
+  const auto values = generate_values(Distribution::kUniformReal, kN, 51);
+  FailureModel failures = FailureModel::uniform(0.1);
+  MultiQuantileParams params;
+  params.phis = {0.5, 0.9, 0.5};
+  params.eps = 0.2;
+
+  Network net(kN, 53, failures);
+  const auto r = multi_quantile(net, values, params);
+  EXPECT_FALSE(r.shared_schedule);
+  EXPECT_EQ(r.unique_targets, 2u);
+  EXPECT_EQ(r.rounds, net.metrics().rounds);
+  EXPECT_TRUE(r.metrics == net.metrics());
+
+  Network ded(kN, 53, failures);
+  MultiQuantileParams ded_params = params;
+  ded_params.phis = {0.5, 0.9};
+  const auto rr = multi_quantile(ded, values, ded_params);
+  EXPECT_EQ(r.rounds, rr.rounds);
+  EXPECT_EQ(r.per_phi[2].outputs, rr.per_phi[0].outputs);
+}
+
+TEST(MultiQuantile, FallsBackToExactBelowEpsFloor) {
+  constexpr std::uint32_t kN = 512;
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, kN, 61);
+  Network net(kN, 63);
+  MultiQuantileParams params;
+  params.phis = {0.5};
+  params.eps = eps_tournament_floor(kN) / 2.0;
+  const auto r = multi_quantile(net, values, params);
+  EXPECT_FALSE(r.shared_schedule);
+  EXPECT_TRUE(r.per_phi[0].used_exact_fallback);
 }
 
 TEST(MultiQuantile, OutputsAreMonotoneAcrossTargetsPerNode) {
@@ -94,6 +230,27 @@ TEST(MultiQuantile, RejectsBadTargets) {
   params.phis = {0.5, 1.2};
   EXPECT_THROW((void)multi_quantile(net, values, params),
                std::invalid_argument);
+}
+
+TEST(MultiQuantile, RejectsNonFiniteTargets) {
+  // NaN compares false against both range bounds, so the GQ_REQUIRE range
+  // check must still fire — pinned here so a refactor to e.g.
+  // !(phi < 0.0 || phi > 1.0) cannot silently admit NaN.
+  Network net(64, 1);
+  const auto values =
+      generate_values(Distribution::kUniformPermutation, 64, 1);
+  MultiQuantileParams params;
+  params.phis = {0.5, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)multi_quantile(net, values, params),
+               std::invalid_argument);
+  params.phis = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)multi_quantile(net, values, params),
+               std::invalid_argument);
+  params.phis = {-std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)multi_quantile(net, values, params),
+               std::invalid_argument);
+  // Rejected before any rounds ran.
+  EXPECT_EQ(net.metrics().rounds, 0u);
 }
 
 TEST(Trace, RecordsAndFiltersSeries) {

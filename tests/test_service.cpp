@@ -75,6 +75,49 @@ QueryReply cold_quantile_reply(const QuantileService& service,
   return reply;
 }
 
+
+// Cold comparator for the batched multi-quantile query: one fresh-engine
+// shared-schedule run over the sealed instance, fingerprinted exactly the
+// way the service does (per-target transcript hashes, FNV-chained).
+QueryReply cold_multi_quantile_reply(const QuantileService& service,
+                                     const QueryReply& warm,
+                                     const QueryRequest& request) {
+  const ServiceConfig& cfg = service.config();
+  Engine engine(static_cast<std::uint32_t>(service.epoch_keys().size()),
+                warm.seed, cfg.failures, cfg.engine);
+  MultiQuantileParams params;
+  params.phis = request.phis;
+  params.eps = request.eps > 0.0 ? request.eps : cfg.approx.eps;
+  params.final_sample_size = cfg.approx.final_sample_size;
+  params.robust_coverage_rounds = cfg.approx.robust_coverage_rounds;
+  const MultiQuantileResult res =
+      multi_quantile_keys(engine, service.epoch_keys(), params);
+  QueryReply reply;
+  reply.kind = QueryKind::kMultiQuantile;
+  std::vector<std::uint64_t> hashes;
+  auto served_min = static_cast<std::uint32_t>(service.epoch_keys().size());
+  for (const ApproxQuantileResult& r : res.per_phi) {
+    Key answer{};
+    for (std::size_t v = 0; v < r.valid.size(); ++v) {
+      if (r.valid[v]) {
+        answer = r.outputs[v];
+        break;
+      }
+    }
+    reply.multi_answers.push_back(answer);
+    reply.multi_values.push_back(answer.value);
+    hashes.push_back(transcript_hash(r.outputs, r.valid));
+    served_min =
+        std::min(served_min, static_cast<std::uint32_t>(r.served_nodes()));
+    reply.used_exact_fallback |= r.used_exact_fallback;
+  }
+  reply.rounds = res.rounds;
+  reply.served = served_min;
+  reply.transcript_hash =
+      transcript_hash_counts({hashes.data(), hashes.size()});
+  return reply;
+}
+
 void expect_same_answer(const QueryReply& a, const QueryReply& b) {
   EXPECT_EQ(a.answer, b.answer);
   EXPECT_EQ(a.value, b.value);
@@ -118,6 +161,47 @@ TEST(Service, WarmQueriesBitIdenticalToColdRunsAtEveryThreadCount) {
         EXPECT_EQ(replies[i].seed, reference[i].seed);
         EXPECT_EQ(replies[i].epoch, reference[i].epoch);
       }
+    }
+  }
+}
+
+
+TEST(Service, MultiQuantileWarmMatchesColdSharedRunAtEveryThreadCount) {
+  // The batched query kind: one warm kMultiQuantile reply must be
+  // transcript-identical to a cold fresh-engine shared-schedule run over
+  // the sealed instance — per target and as a whole — at every thread
+  // count.  kNodes must keep request.eps above eps_tournament_floor or
+  // the batch would route through the exact fallback instead.
+  constexpr std::uint32_t kNodes = 1100;
+  QueryRequest request;
+  request.kind = QueryKind::kMultiQuantile;
+  request.phis = {0.5, 0.9, 0.99, 0.9};  // one duplicated target
+  request.eps = 0.2;
+
+  std::vector<QueryReply> reference;
+  for (unsigned threads : kThreadCounts) {
+    QuantileService service(kNodes, service_config(threads));
+    ingest_fixture(service, kNodes, 24, 7);
+    const QueryReply warm = service.query(request);
+    ASSERT_EQ(warm.multi_answers.size(), request.phis.size());
+    EXPECT_EQ(warm.multi_answers[3], warm.multi_answers[1]);  // shared lane
+    EXPECT_FALSE(warm.used_exact_fallback);
+
+    const QueryReply cold = cold_multi_quantile_reply(service, warm, request);
+    EXPECT_EQ(warm.multi_answers, cold.multi_answers);
+    EXPECT_EQ(warm.multi_values, cold.multi_values);
+    EXPECT_EQ(warm.rounds, cold.rounds);
+    EXPECT_EQ(warm.served, cold.served);
+    EXPECT_EQ(warm.used_exact_fallback, cold.used_exact_fallback);
+    EXPECT_EQ(warm.transcript_hash, cold.transcript_hash);
+
+    if (reference.empty()) {
+      reference.push_back(warm);
+    } else {
+      EXPECT_EQ(warm.seed, reference[0].seed);
+      EXPECT_EQ(warm.multi_answers, reference[0].multi_answers);
+      EXPECT_EQ(warm.rounds, reference[0].rounds);
+      EXPECT_EQ(warm.transcript_hash, reference[0].transcript_hash);
     }
   }
 }

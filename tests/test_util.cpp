@@ -211,6 +211,30 @@ TEST(LogHistogram, QuantileNeverExceedsMax) {
   EXPECT_EQ(h.quantile(1.0), 1000u);
 }
 
+
+TEST(LogHistogram, BoundaryQuantiles) {
+  // Empty histogram: every quantile (and min/max) reads 0 — the service's
+  // latency summaries lean on this for query kinds never exercised.
+  LogHistogram empty;
+  EXPECT_EQ(empty.total(), 0u);
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+  EXPECT_EQ(empty.max(), 0u);
+
+  // Populated: q = 0.0 pins to the exact minimum and q = 1.0 clamps to
+  // the exact maximum, never a bucket upper bound beyond it.
+  LogHistogram h;
+  h.add(3);
+  h.add(500);
+  h.add(70000);
+  EXPECT_EQ(h.quantile(0.0), 3u);
+  EXPECT_EQ(h.quantile(1.0), 70000u);
+  EXPECT_LE(h.quantile(0.5), h.quantile(1.0));
+  EXPECT_GE(h.quantile(0.5), h.quantile(0.0));
+}
+
 TEST(LogHistogram, MergeMatchesCombinedStream) {
   LogHistogram a, b, both;
   SplitMix64 rng(11);
