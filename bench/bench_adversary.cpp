@@ -17,9 +17,11 @@
 // (bench, pipeline, executor, n, threads)): adv_quantile_greedy_bn64 is
 // the greedy strategy with budget n/64.  GQ_BENCH_SMOKE=1 shrinks
 // everything to CI-smoke scale.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "core/adversarial.hpp"
 #include "engine/engine.hpp"
 #include "engine/pipelines.hpp"
+#include "service/quantile_service.hpp"
 #include "sim/adversary.hpp"
 #include "sim/network.hpp"
 #include "workload/distributions.hpp"
@@ -213,10 +216,122 @@ void run() {
   oblivious_rounds_table(n);
 }
 
+// ---- fault soak (--soak) ---------------------------------------------------
+//
+// The CI resilience gate: a seeded sweep of crash-churn and adaptive
+// strategies against a *supervised* QuantileService.  The contract under
+// test is the service's never-throw guarantee — every query must come back
+// answered, either full (some supervised attempt passed) or degraded (the
+// epoch summary answered after the budget exhausted).  One cell forces
+// exhaustion outright so the degraded path (and its service/degraded trace
+// spans, validated by scripts/trace_check in CI) fires on every run.
+// Exits non-zero on any violation.
+
+int run_soak() {
+  std::printf("bench_adversary --soak: resilience fault-soak gate\n\n");
+  const std::uint32_t nodes = bench::smoke_capped(1024);
+  const std::uint32_t budget = std::max<std::uint32_t>(4, nodes / 16);
+  std::uint64_t total = 0, full = 0, degraded = 0, violations = 0;
+  bench::Table table({"strategy", "seed", "queries", "full", "degraded",
+                      "retries", "breaker opens"});
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    CrashChurnAdversary light(CrashChurnAdversary::Config{
+        .crashes = budget, .first_round = 1, .crash_window = 32,
+        .down_rounds = 8, .strategy_seed = seed});
+    CrashChurnAdversary heavy(CrashChurnAdversary::Config{
+        .crashes = budget * 2, .first_round = 1, .crash_window = 32,
+        .down_rounds = 0, .strategy_seed = seed});
+    GreedyTargetedAdversary greedy(budget, 1e9);
+    EclipseAdversary eclipse(0, budget);
+    struct Cell {
+      const char* label;
+      AdversaryStrategy* strategy;
+      double min_served;
+    };
+    const Cell cells[] = {
+        {"crash_light", &light, 0.5},
+        {"crash_heavy", &heavy, 0.97},  // ~12% permanently down: exhausts
+        {"greedy", &greedy, 0.5},
+        {"eclipse", &eclipse, 0.5},
+        // Unattainable bar: every query exhausts, guaranteeing the degraded
+        // path runs (and emits its spans) in every soak.
+        {"forced_degrade", nullptr, 1.5},
+    };
+    for (const Cell& cell : cells) {
+      ServiceConfig cfg;
+      cfg.seed = 7000 + seed;
+      cfg.engine.threads = 4;
+      cfg.adversary = cell.strategy;
+      cfg.supervisor.max_attempts = 2;
+      cfg.supervisor.min_served_fraction = cell.min_served;
+      cfg.breaker.open_after = 3;
+      cfg.breaker.cooldown_queries = 2;
+      std::uint64_t cell_full = 0, cell_degraded = 0;
+      try {
+        QuantileService service(nodes, cfg);
+        const auto values = generate_values(Distribution::kUniformReal,
+                                            nodes * 2, 300 + seed);
+        for (std::uint32_t v = 0; v < nodes; ++v) {
+          service.ingest(v, values[v * 2]);
+          service.ingest(v, values[v * 2 + 1]);
+        }
+        const QueryKind kinds[] = {QueryKind::kQuantile, QueryKind::kRank,
+                                   QueryKind::kCdf, QueryKind::kMultiQuantile,
+                                   QueryKind::kExactQuantile};
+        for (int i = 0; i < 10; ++i) {
+          QueryRequest request;
+          request.kind = kinds[i % 5];
+          request.phi = 0.25 + 0.05 * static_cast<double>(i % 5);
+          request.eps = 0.2;
+          request.value = 0.5;
+          request.cdf_points = {0.25, 0.5, 0.75};
+          request.phis = {0.1, 0.5, 0.9};
+          const QueryReply reply = service.query(request);
+          ++total;
+          if (reply.quality == AnswerQuality::kDegraded) {
+            ++degraded;
+            ++cell_degraded;
+          } else {
+            ++full;
+            ++cell_full;
+          }
+        }
+        const ServiceStats stats = service.stats();
+        table.add_row({cell.label, std::to_string(seed), "10",
+                       std::to_string(cell_full),
+                       std::to_string(cell_degraded),
+                       std::to_string(stats.retry_attempts),
+                       std::to_string(stats.breaker_opens)});
+      } catch (const std::exception& error) {
+        ++violations;
+        std::printf("VIOLATION: strategy=%s seed=%llu threw: %s\n",
+                    cell.label, static_cast<unsigned long long>(seed),
+                    error.what());
+      }
+    }
+  }
+  table.print();
+  std::printf("\nsoak: %llu queries, %llu full, %llu degraded, "
+              "%llu violations\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(full),
+              static_cast<unsigned long long>(degraded),
+              static_cast<unsigned long long>(violations));
+  // No query may throw, and the forced cell must have exercised the
+  // degraded path (otherwise CI's trace requirements are vacuous).
+  // exit_status() flushes the GQ_TRACE artifacts the trace gate validates.
+  const int soak_status = (violations == 0 && degraded > 0) ? 0 : 1;
+  const int artifact_status = bench::exit_status();
+  return soak_status != 0 ? soak_status : artifact_status;
+}
+
 }  // namespace
 }  // namespace gq
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--soak") return gq::run_soak();
+  }
   gq::run();
   return gq::bench::exit_status();
 }

@@ -86,10 +86,11 @@ int main() {
   std::printf("\nadaptive adversaries vs adversarial_quantile "
               "(budget = %u = n/32, eps = 0.1)\n\n",
               kBudget);
-  std::printf("%-12s | %-8s | %-9s | %-9s | %-9s | %s\n", "strategy",
-              "rounds", "served", "accurate", "exposure", "touched msgs");
-  std::printf("-------------|----------|-----------|-----------|-----------|"
-              "--------------\n");
+  std::printf("%-12s | %-8s | %-3s | %-9s | %-9s | %-9s | %s\n", "strategy",
+              "rounds", "ok", "served", "accurate", "exposure",
+              "touched msgs");
+  std::printf("-------------|----------|-----|-----------|-----------|"
+              "-----------|--------------\n");
   for (gq::AdversaryStrategy* strategy : strategies) {
     gq::Network net(kNodes, 77);
     if (strategy != nullptr) net.set_adversary(strategy);
@@ -101,10 +102,11 @@ int main() {
     const auto touched = r.quality.messages_dropped +
                          r.quality.messages_corrupted +
                          r.quality.messages_delayed;
-    std::printf("%-12s | %8llu | %8.2f%% | %8.2f%% | %8.2f%% | %llu\n",
+    std::printf("%-12s | %8llu | %-3s | %8.2f%% | %8.2f%% | %8.2f%% | %llu\n",
                 strategy ? strategy->name() : "(none)",
-                static_cast<unsigned long long>(r.rounds), s.served,
-                s.accurate, 100.0 * r.quality.corruption_exposure,
+                static_cast<unsigned long long>(r.rounds),
+                r.quality.ok() ? "yes" : "NO", s.served, s.accurate,
+                100.0 * r.quality.corruption_exposure,
                 static_cast<unsigned long long>(touched));
   }
 

@@ -86,8 +86,20 @@ struct QualityReport {
   // adversary touched.  An upper bound on its influence — filtering keeps
   // the *effective* influence far lower.
   double corruption_exposure = 0.0;
-  // True iff served_fraction fell below the params' min_served_fraction.
-  bool degraded = false;
+
+  // The thresholds this run was judged against, copied from the params so
+  // the single acceptance predicate below travels with the report.
+  double min_served_fraction = 0.0;
+  double max_corruption_exposure = 1.0;
+
+  // THE acceptance predicate: enough of the network served AND the
+  // adversary touched an acceptable fraction of traffic.  Callers (service
+  // supervisor, tests, examples) must use this instead of re-deriving
+  // their own thresholds.
+  [[nodiscard]] bool ok() const noexcept {
+    return served_fraction >= min_served_fraction &&
+           corruption_exposure <= max_corruption_exposure;
+  }
 
   friend bool operator==(const QualityReport&, const QualityReport&) = default;
 };
@@ -110,8 +122,11 @@ struct AdversarialQuantileParams {
   // base paper; unchanged by filtering).
   bool truncate_last = true;
 
-  // Served-fraction threshold below which QualityReport::degraded is set.
+  // Acceptance thresholds recorded into QualityReport (see ok()): minimum
+  // served fraction, and maximum fraction of traffic the adversary may
+  // have touched.
   double min_served_fraction = 0.5;
+  double max_corruption_exposure = 1.0;
 };
 
 struct AdversarialQuantileResult {
@@ -143,6 +158,7 @@ struct AdversarialMeanParams {
   std::uint32_t mean_sample_rounds = 48;
 
   double min_served_fraction = 0.5;
+  double max_corruption_exposure = 1.0;
 };
 
 struct AdversarialMeanResult {
@@ -179,31 +195,58 @@ struct PendingDelivery {
   T payload;
 };
 
+// True iff `node` is down (FaultKind::kCrash) in `round`.  Shared by the
+// fold below and the serving decisions, so "excluded from served sets while
+// down" means the same thing on both executors.
+inline bool node_down(const AdversaryStrategy* adversary, std::uint32_t node,
+                      std::uint64_t round) {
+  return adversary != nullptr &&
+         adversary->fault(node, round).kind == FaultKind::kCrash;
+}
+
 // The per-node fold of one fused pull block under message faults — the ONE
 // copy of fault semantics both executors execute.  For each of `pulls`
 // rounds (block-relative j, absolute base + j):
-//   1. pending deliveries whose arrival round is j are handed to
+//   1. the node's lifecycle is consulted: while down (kCrash) it sends and
+//      receives nothing — pending deliveries addressed to it are lost, its
+//      own pull is skipped, and nothing is billed (adversary_crashed);
+//      kRecover tallies a recovery event and otherwise behaves as kNone;
+//   2. pending deliveries whose arrival round is j are handed to
 //      deliver(j, payload) in insertion order;
-//   2. the node's own pull flips the oblivious failure coin (a failed
+//   3. the node's own pull flips the oblivious failure coin (a failed
 //      operation loses the round and bills nothing);
-//   3. otherwise sample(j, stream) draws the peer payload, the message is
-//      billed as sent, and the adversary's fault(v, round) is applied:
-//      kDrop destroys it, kCorrupt replaces the payload with
-//      inject(fault.value), kDelay re-enqueues it for round j + delay
-//      (destroyed if the block ends first — counted as delayed either way).
+//   4. otherwise the peer is drawn (the block's only stream draw); a down
+//      peer has no state to pull, so the message never exists
+//      (adversary_crash_dropped); otherwise payload_of(j, peer) produces
+//      the payload, the message is billed as sent, and the adversary's
+//      fault(v, round) is applied: kDrop destroys it, kCorrupt replaces
+//      the payload with inject(fault.value), kDelay re-enqueues it for
+//      round j + delay (destroyed if the block ends first — counted as
+//      delayed either way).
 // Returns the number of messages sent (caller bills bits); fault tallies
 // land in `local`.
-template <typename T, typename SampleFn, typename InjectFn, typename DeliverFn>
+template <typename T, typename PayloadFn, typename InjectFn,
+          typename DeliverFn>
 inline std::uint64_t walk_faulted_pulls(
     std::uint64_t seed, std::uint64_t base, std::uint32_t pulls,
-    std::uint32_t v, const FailureModel& failures,
-    const AdversaryStrategy* adversary, SampleFn&& sample, InjectFn&& inject,
-    DeliverFn&& deliver, Metrics& local) {
+    std::uint32_t v, std::uint32_t n, const FailureModel& failures,
+    const AdversaryStrategy* adversary, PayloadFn&& payload_of,
+    InjectFn&& inject, DeliverFn&& deliver, Metrics& local) {
   GQ_ASSERT(pulls <= kMaxBlockPulls);
   std::array<PendingDelivery<T>, kMaxBlockPulls> pending;
   std::uint32_t pending_count = 0;
   std::uint64_t sent = 0;
   for (std::uint32_t j = 0; j < pulls; ++j) {
+    Fault self{};
+    if (adversary != nullptr) self = adversary->fault(v, base + j);
+    if (self.kind == FaultKind::kCrash) {
+      ++local.adversary_crashed;
+      continue;  // down: pending arrivals this round are lost with the node
+    }
+    if (self.kind == FaultKind::kRecover) {
+      ++local.adversary_recovered;
+      self = Fault{};
+    }
     for (std::uint32_t i = 0; i < pending_count; ++i) {
       if (pending[i].arrival == j) deliver(j, pending[i].payload);
     }
@@ -212,28 +255,32 @@ inline std::uint64_t walk_faulted_pulls(
       continue;
     }
     SplitMix64 stream = streams::node_stream(seed, base + j, v);
-    T payload = sample(j, stream);
+    const std::uint32_t peer = streams::sample_peer(v, n, stream);
+    if (node_down(adversary, peer, base + j)) {
+      ++local.adversary_crash_dropped;
+      continue;  // nobody home: the pulled message never exists
+    }
+    T payload = payload_of(j, peer);
     ++sent;
-    if (adversary != nullptr) {
-      const Fault fault = adversary->fault(v, base + j);
-      switch (fault.kind) {
-        case FaultKind::kDrop:
-          ++local.adversary_dropped;
-          continue;
-        case FaultKind::kCorrupt:
-          ++local.adversary_corrupted;
-          payload = inject(fault.value);
-          break;
-        case FaultKind::kDelay:
-          ++local.adversary_delayed;
-          if (pending_count < pending.size()) {
-            pending[pending_count++] =
-                PendingDelivery<T>{j + fault.delay, payload};
-          }
-          continue;
-        case FaultKind::kNone:
-          break;
-      }
+    switch (self.kind) {
+      case FaultKind::kDrop:
+        ++local.adversary_dropped;
+        continue;
+      case FaultKind::kCorrupt:
+        ++local.adversary_corrupted;
+        payload = inject(self.value);
+        break;
+      case FaultKind::kDelay:
+        ++local.adversary_delayed;
+        if (pending_count < pending.size()) {
+          pending[pending_count++] =
+              PendingDelivery<T>{j + self.delay, payload};
+        }
+        continue;
+      case FaultKind::kNone:
+      case FaultKind::kCrash:    // handled above; unreachable
+      case FaultKind::kRecover:  // rewritten to kNone above
+        break;
     }
     deliver(j, payload);
   }
@@ -299,8 +346,8 @@ inline void observe_block(Ops& ops, std::uint64_t first_round,
 }
 
 inline QualityReport make_quality(const Metrics& delta, std::uint64_t served,
-                                  std::uint32_t n,
-                                  double min_served_fraction) {
+                                  std::uint32_t n, double min_served_fraction,
+                                  double max_corruption_exposure) {
   QualityReport quality;
   quality.served_fraction =
       static_cast<double>(served) / static_cast<double>(n);
@@ -316,7 +363,8 @@ inline QualityReport make_quality(const Metrics& delta, std::uint64_t served,
       delta.messages > 0
           ? static_cast<double>(touched) / static_cast<double>(delta.messages)
           : 0.0;
-  quality.degraded = quality.served_fraction < min_served_fraction;
+  quality.min_served_fraction = min_served_fraction;
+  quality.max_corruption_exposure = max_corruption_exposure;
   return quality;
 }
 
@@ -344,10 +392,8 @@ inline void filtered_two_iteration(Ops& ops, std::vector<Key>& state,
   ops.for_each_node([&](std::uint32_t v, Metrics& local) {
     GroupCollector<Key> groups(2, g);
     const std::uint64_t sent = walk_faulted_pulls<Key>(
-        seed, base, pulls, v, failures, adversary,
-        [&](std::uint32_t, SplitMix64& stream) {
-          return snapshot[streams::sample_peer(v, n, stream)];
-        },
+        seed, base, pulls, v, n, failures, adversary,
+        [&](std::uint32_t, std::uint32_t peer) { return snapshot[peer]; },
         [&](double injected) {
           return Key{injected, n, 0};
         },
@@ -388,10 +434,8 @@ inline void filtered_three_iteration(Ops& ops, std::vector<Key>& state,
   ops.for_each_node([&](std::uint32_t v, Metrics& local) {
     GroupCollector<Key> groups(3, g);
     const std::uint64_t sent = walk_faulted_pulls<Key>(
-        seed, base, pulls, v, failures, adversary,
-        [&](std::uint32_t, SplitMix64& stream) {
-          return snapshot[streams::sample_peer(v, n, stream)];
-        },
+        seed, base, pulls, v, n, failures, adversary,
+        [&](std::uint32_t, std::uint32_t peer) { return snapshot[peer]; },
         [&](double injected) {
           return Key{injected, n, 0};
         },
@@ -437,10 +481,8 @@ inline void final_filtered_median(Ops& ops, std::vector<Key>& state,
   ops.for_each_node([&](std::uint32_t v, Metrics& local) {
     GroupCollector<Key> groups(k_samples, g);
     const std::uint64_t sent = walk_faulted_pulls<Key>(
-        seed, base, pulls, v, failures, adversary,
-        [&](std::uint32_t, SplitMix64& stream) {
-          return snapshot[streams::sample_peer(v, n, stream)];
-        },
+        seed, base, pulls, v, n, failures, adversary,
+        [&](std::uint32_t, std::uint32_t peer) { return snapshot[peer]; },
         [&](double injected) {
           return Key{injected, n, 0};
         },
@@ -455,7 +497,11 @@ inline void final_filtered_median(Ops& ops, std::vector<Key>& state,
       Key sample;
       if (groups.filtered_sample(i, sample)) filtered[collected++] = sample;
     }
-    if (collected >= k_samples / 2 + 1) {
+    // A node still down at the end of the block is excluded from the served
+    // set regardless of what it collected before crashing (it cannot emit an
+    // answer); shared code, so both executors exclude identically.
+    const bool down_at_end = node_down(adversary, v, base + pulls - 1);
+    if (!down_at_end && collected >= k_samples / 2 + 1) {
       std::sort(filtered.begin(), filtered.begin() + collected);
       outputs[v] = filtered[(collected - 1u) / 2u];
       valid8[v] = 1;
@@ -517,7 +563,8 @@ AdversarialQuantileResult adversarial_quantile_impl(
   const Metrics delta = ops.metrics().since(before);
   result.rounds = delta.rounds;
   result.quality = make_quality(delta, result.served_nodes(), n,
-                                params.min_served_fraction);
+                                params.min_served_fraction,
+                                params.max_corruption_exposure);
   return result;
 }
 
@@ -596,10 +643,8 @@ AdversarialMeanResult adversarial_mean_impl(Ops& ops,
     const double lo = clip_lo[v];
     const double hi = clip_hi[v];
     const std::uint64_t sent = walk_faulted_pulls<double>(
-        seed, base, rounds, v, failures, adversary,
-        [&](std::uint32_t, SplitMix64& stream) {
-          return value_data[streams::sample_peer(v, n, stream)];
-        },
+        seed, base, rounds, v, n, failures, adversary,
+        [&](std::uint32_t, std::uint32_t peer) { return value_data[peer]; },
         [&](double injected) { return injected; },
         [&](std::uint32_t, double payload) {
           sum += std::clamp(payload, lo, hi);
@@ -609,7 +654,10 @@ AdversarialMeanResult adversarial_mean_impl(Ops& ops,
     // A mean sample is one value word; bill it at the 64-bit payload size
     // rather than the tagged key size.
     local.record_messages(sent, 64);
-    if (clip_ok[v] && count >= min_count) {
+    // Same serving rule as the quantile's final step: down at the end of
+    // the sampling block means unserved.
+    const bool down_at_end = node_down(adversary, v, base + rounds - 1);
+    if (!down_at_end && clip_ok[v] && count >= min_count) {
       estimate_data[v] = sum / static_cast<double>(count);
       valid8[v] = 1;
     }
@@ -620,7 +668,8 @@ AdversarialMeanResult adversarial_mean_impl(Ops& ops,
   const Metrics delta = ops.metrics().since(before);
   result.rounds = delta.rounds;
   result.quality = make_quality(delta, result.served_nodes(), n,
-                                params.min_served_fraction);
+                                params.min_served_fraction,
+                                params.max_corruption_exposure);
   return result;
 }
 

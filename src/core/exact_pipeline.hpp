@@ -17,6 +17,8 @@
 //
 // The Ops concept (duck-typed; see NetworkExactOps / EngineExactOps):
 //   uint32_t  size();
+//   uint64_t  seed();                // diagnostic context for typed aborts
+//   uint64_t  round();               //   "  (stream-relative round counter)
 //   const Metrics& metrics();
 //   ApproxQuantileResult approx(span<const Key>, const ApproxQuantileParams&);
 //   SpreadResult spread_min_keys(span<const Key>);
@@ -52,6 +54,21 @@
 #include "util/require.hpp"
 
 namespace gq::exact_detail {
+
+// Structured throw-site context for ExactPipelineError: which run (seed, n)
+// aborted, where (phase label), and when.  The round is the executor's
+// stream-relative counter (reset by reset_stream), not lifetime Metrics
+// rounds, so warm service attempts abort with the same context as a cold
+// run — the context is part of the differential contract.
+template <typename Ops>
+ExactPipelineError::Context abort_context(Ops& ops, const char* phase) {
+  ExactPipelineError::Context context;
+  context.seed = ops.seed();
+  context.round = ops.round();
+  context.n = ops.size();
+  context.phase = phase;
+  return context;
+}
 
 struct PipelineOutcome {
   Key answer = Key::infinite();
@@ -97,7 +114,8 @@ PipelineOutcome selection_endgame(Ops& ops, std::vector<Key>& inst,
     if (!pv.found) {
       throw ExactPipelineError(
           ExactPipelineError::Kind::kEndgameNoCandidates,
-          "selection endgame ran out of candidates (count inconsistency)");
+          "selection endgame ran out of candidates (count inconsistency)",
+          abort_context(ops, "selection_endgame"));
     }
     ++out.endgame_phases;
     const std::uint64_t rank = ops.rank(inst, pv.pivot).counts[0];
@@ -114,7 +132,8 @@ PipelineOutcome selection_endgame(Ops& ops, std::vector<Key>& inst,
     }
   }
   throw ExactPipelineError(ExactPipelineError::Kind::kEndgameStalled,
-                           "selection endgame did not converge");
+                           "selection endgame did not converge",
+                           abort_context(ops, "selection_endgame"));
 }
 
 // Predicted round costs used by ExactStrategy::kAuto.  These only steer the
@@ -280,7 +299,8 @@ PipelineOutcome run_pipeline(Ops& ops, std::span<const Key> keys,
         (use_hi ? rank_hi : finite_cnt) - removed_below;
     if (survivors == 0) {
       throw ExactPipelineError(ExactPipelineError::Kind::kBracketingEmptied,
-                               "bracketing removed every candidate");
+                               "bracketing removed every candidate",
+                               abort_context(ops, "bracketing"));
     }
     if (block >= k) continue;  // finish via the min-broadcast fast path
 
@@ -389,7 +409,8 @@ ExactQuantileResult exact_quantile_keys_impl(
   }
   throw ExactPipelineError(
       ExactPipelineError::Kind::kVerificationFailed,
-      "exact_quantile failed verification after repeated attempts");
+      "exact_quantile failed verification after repeated attempts",
+      abort_context(ops, "verification"));
 }
 
 }  // namespace gq::exact_detail

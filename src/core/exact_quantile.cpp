@@ -21,6 +21,8 @@ struct NetworkExactOps {
   Network& net;
 
   [[nodiscard]] std::uint32_t size() const { return net.size(); }
+  [[nodiscard]] std::uint64_t seed() const { return net.seed(); }
+  [[nodiscard]] std::uint64_t round() const { return net.round(); }
   [[nodiscard]] const Metrics& metrics() const { return net.metrics(); }
 
   ApproxQuantileResult approx(std::span<const Key> keys,

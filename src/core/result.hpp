@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/key.hpp"
@@ -40,13 +41,54 @@ class ExactPipelineError : public std::runtime_error {
     kVerificationFailed,
   };
 
-  ExactPipelineError(Kind kind, const char* what)
-      : std::runtime_error(what), kind_(kind) {}
+  // Structured context captured at the throw site, so supervisor RunReports
+  // and logs can say *which* run aborted *where* without parsing what().
+  // Both executors fill it from the shared control flow, so the context —
+  // like the kind — is part of the bit-identical differential contract.
+  struct Context {
+    std::uint64_t seed = 0;   // executor master seed of the aborted run
+    std::uint64_t round = 0;  // round counter when the abort fired
+    std::uint32_t n = 0;      // network size
+    const char* phase = "";   // static phase label, e.g. "selection_endgame"
+
+    friend bool operator==(const Context&, const Context&) = default;
+  };
+
+  ExactPipelineError(Kind kind, const char* what, const Context& context)
+      : std::runtime_error(format(kind, what, context)),
+        kind_(kind),
+        context_(context) {}
 
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const Context& context() const noexcept { return context_; }
 
  private:
+  static const char* kind_name(Kind kind) noexcept {
+    switch (kind) {
+      case Kind::kEndgameNoCandidates: return "endgame-no-candidates";
+      case Kind::kEndgameStalled: return "endgame-stalled";
+      case Kind::kBracketingEmptied: return "bracketing-emptied";
+      case Kind::kVerificationFailed: return "verification-failed";
+    }
+    return "unknown";
+  }
+
+  static std::string format(Kind kind, const char* what,
+                            const Context& context) {
+    std::string s = "exact pipeline abort [";
+    s += kind_name(kind);
+    s += "] phase=";
+    s += context.phase;
+    s += " round=" + std::to_string(context.round);
+    s += " n=" + std::to_string(context.n);
+    s += " seed=" + std::to_string(context.seed);
+    s += ": ";
+    s += what;
+    return s;
+  }
+
   Kind kind_;
+  Context context_;
 };
 
 struct ApproxQuantileResult {

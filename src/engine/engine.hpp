@@ -147,7 +147,7 @@ class Engine {
     return streams::node_stream(seed_, round_, v);
   }
 
-  // With an adversary installed, kDrop/kDelay faults read as failed
+  // With an adversary installed, kDrop/kDelay/kCrash faults read as failed
   // operations here, exactly as on Network (see sim/network.hpp).
   [[nodiscard]] bool node_fails(std::uint32_t v) const {
     return op_fails(v, round_);
@@ -159,7 +159,8 @@ class Engine {
     if (streams::node_fails(seed_, round, v, failures_)) return true;
     if (adversary_ == nullptr) return false;
     const Fault f = adversary_->fault(v, round);
-    return f.kind == FaultKind::kDrop || f.kind == FaultKind::kDelay;
+    return f.kind == FaultKind::kDrop || f.kind == FaultKind::kDelay ||
+           f.kind == FaultKind::kCrash;
   }
 
   [[nodiscard]] std::uint32_t sample_peer(std::uint32_t v,

@@ -607,6 +607,8 @@ struct EngineExactOps {
   Engine& engine;
 
   [[nodiscard]] std::uint32_t size() const { return engine.size(); }
+  [[nodiscard]] std::uint64_t seed() const { return engine.seed(); }
+  [[nodiscard]] std::uint64_t round() const { return engine.round(); }
   [[nodiscard]] const Metrics& metrics() const { return engine.metrics(); }
 
   ApproxQuantileResult approx(std::span<const Key> keys,

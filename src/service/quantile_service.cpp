@@ -1,10 +1,12 @@
 #include "service/quantile_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <utility>
 
+#include "core/supervisor.hpp"
 #include "engine/kernels.hpp"
 #include "engine/pipelines.hpp"
 #include "telemetry/telemetry.hpp"
@@ -22,6 +24,7 @@ constexpr const char* kQueryKindNames[] = {"quantile", "exact_quantile",
 constexpr std::uint64_t kSummaryStream = 0x5eed0001;
 constexpr std::uint64_t kQueryStream = 0x5eed0002;
 constexpr std::uint64_t kMergeStream = 0x5eed0003;
+constexpr std::uint64_t kDegradedStream = 0x5eed0004;
 
 // A probe value's threshold key: compares >= every instance key holding the
 // same value, so count_le counts exactly the keys with key.value <= probe.
@@ -132,9 +135,36 @@ std::uint64_t QuantileService::seal() {
                                        cfg_.engine);
     ++engine_rebuilds_;
   }
+  // (Re-)install the configured adversary every seal: a rebuilt engine
+  // starts bare, and per-query reset_stream rebinds the strategy onto each
+  // query's stream seed.
+  if (cfg_.adversary != nullptr) engine_->set_adversary(cfg_.adversary);
   session_.update(instance_, cfg_.session_compact_factor);
+  build_degraded_summary();
   dirty_ = false;
   return ++epoch_;
+}
+
+void QuantileService::build_degraded_summary() {
+  // The degraded-answer summary approximates the same distribution the
+  // sealed *instance* exposes to queries, so a degraded reply answers the
+  // question the caller actually asked: under kLocalQuantile that is the
+  // instance keys themselves (m items — near-exact below sketch_k), under
+  // kGlobalResample the merged per-node summaries (same merge the instance
+  // was resampled from, without the 1/(2m) resample granularity).
+  degraded_summary_ = std::make_unique<KllSketch>(
+      cfg_.sketch_k, derive_seed(cfg_.seed, kDegradedStream));
+  switch (cfg_.instance_policy) {
+    case InstancePolicy::kLocalQuantile:
+      for (const Key& key : instance_) degraded_summary_->insert(key);
+      return;
+    case InstancePolicy::kGlobalResample:
+      for (const std::uint32_t id : contributors_) {
+        degraded_summary_->merge(streams_[id]->summary());
+      }
+      return;
+  }
+  GQ_REQUIRE(false, "unknown instance policy");
 }
 
 std::uint64_t QuantileService::next_query_seed(const QueryRequest& request) {
@@ -154,49 +184,199 @@ QueryReply QuantileService::query(const QueryRequest& request) {
   (void)seal();  // implicit ingest->query barrier; no-op when clean
   GQ_SPAN("service/query");
   const std::uint64_t seed = next_query_seed(request);
-  prepare_engine(seed);
-  // Latency is end-to-end over the dispatched pipeline (post-seal), read
-  // only while telemetry is enabled so the disabled query path stays
-  // clock-free.
+  // Latency is end-to-end over the resilient dispatch (post-seal, retries
+  // and degraded fallback included), read only while telemetry is enabled
+  // so the disabled query path stays clock-free.
   const std::uint64_t t0 =
       telemetry::enabled() ? telemetry::now_ns() : 0;
-  QueryReply reply;
-  switch (request.kind) {
-    case QueryKind::kQuantile: {
-      GQ_SPAN("service/query_quantile");
-      reply = run_quantile(request, seed);
-      break;
-    }
-    case QueryKind::kExactQuantile: {
-      GQ_SPAN("service/query_exact_quantile");
-      reply = run_exact(request, seed);
-      break;
-    }
-    case QueryKind::kRank: {
-      GQ_SPAN("service/query_rank");
-      reply = run_rank(request, seed);
-      break;
-    }
-    case QueryKind::kCdf: {
-      GQ_SPAN("service/query_cdf");
-      reply = run_cdf(request, seed);
-      break;
-    }
-    case QueryKind::kMultiQuantile: {
-      GQ_SPAN("service/query_multi_quantile");
-      reply = run_multi_quantile(request, seed);
-      break;
-    }
-  }
+  QueryReply reply = run_resilient(request, seed);
   if (t0 != 0) {
     query_latency_ns_[static_cast<std::size_t>(request.kind)].add(
         telemetry::now_ns() - t0);
   }
   reply.epoch = epoch_;
-  reply.seed = seed;
   reply.nodes = static_cast<std::uint32_t>(instance_.size());
   ++queries_;
   return reply;
+}
+
+QueryReply QuantileService::run_resilient(const QueryRequest& request,
+                                          std::uint64_t seed) {
+  // Structural misuse stays loud no matter what the resilience layer would
+  // absorb: a malformed request is a caller bug, not a gossip fault.
+  const bool quantile_kind = request.kind == QueryKind::kQuantile ||
+                             request.kind == QueryKind::kExactQuantile;
+  GQ_REQUIRE(!quantile_kind || (request.phi >= 0.0 && request.phi <= 1.0),
+             "phi must lie in [0,1]");
+  GQ_REQUIRE(request.kind != QueryKind::kCdf || !request.cdf_points.empty(),
+             "kCdf needs at least one probe point");
+  GQ_REQUIRE(
+      request.kind != QueryKind::kMultiQuantile || !request.phis.empty(),
+      "kMultiQuantile needs at least one target");
+
+  Breaker& breaker = breakers_[static_cast<std::size_t>(request.kind)];
+  ++breaker.kind_queries;
+  const bool breaker_enabled = cfg_.breaker.open_after > 0;
+  if (breaker_enabled && breaker.state == BreakerState::kOpen) {
+    if (breaker.kind_queries - breaker.opened_at <=
+        cfg_.breaker.cooldown_queries) {
+      // Cooling down: serve from the summary without touching the engine.
+      return degraded_reply(request, seed, /*attempts_spent=*/0);
+    }
+    breaker.state = BreakerState::kHalfOpen;  // this query is the probe
+  }
+  bool exhausted = false;
+  QueryReply reply =
+      run_attempts(request, seed, cfg_.supervisor.max_attempts, exhausted);
+  record_outcome(breaker, exhausted);
+  if (!exhausted) return reply;
+  return degraded_reply(request, seed, cfg_.supervisor.max_attempts);
+}
+
+QueryReply QuantileService::run_attempts(const QueryRequest& request,
+                                         std::uint64_t seed,
+                                         std::uint32_t max_attempts,
+                                         bool& exhausted) {
+  GQ_REQUIRE(max_attempts >= 1, "supervisor needs at least one attempt");
+  const auto m = static_cast<double>(instance_.size());
+  std::exception_ptr last_error;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const AttemptPlan plan = plan_attempt(cfg_.supervisor, seed, attempt);
+    if (attempt > 0) ++retry_attempts_;
+    GQ_SPAN("supervisor/attempt");
+    prepare_engine(plan.seed);
+    try {
+      QueryReply reply;
+      switch (request.kind) {
+        case QueryKind::kQuantile: {
+          GQ_SPAN("service/query_quantile");
+          reply = run_quantile(request, plan.seed, plan);
+          break;
+        }
+        case QueryKind::kExactQuantile: {
+          GQ_SPAN("service/query_exact_quantile");
+          reply = run_exact(request, plan.seed);
+          break;
+        }
+        case QueryKind::kRank: {
+          GQ_SPAN("service/query_rank");
+          reply = run_rank(request, plan.seed);
+          break;
+        }
+        case QueryKind::kCdf: {
+          GQ_SPAN("service/query_cdf");
+          reply = run_cdf(request, plan.seed);
+          break;
+        }
+        case QueryKind::kMultiQuantile: {
+          GQ_SPAN("service/query_multi_quantile");
+          reply = run_multi_quantile(request, plan.seed, plan);
+          break;
+        }
+      }
+      const double served_fraction =
+          m > 0.0 ? static_cast<double>(reply.served) / m : 1.0;
+      const bool deadline_ok = cfg_.supervisor.max_rounds == 0 ||
+                               reply.rounds <= cfg_.supervisor.max_rounds;
+      if (deadline_ok &&
+          served_fraction >= cfg_.supervisor.min_served_fraction) {
+        reply.seed = plan.seed;
+        reply.attempts = attempt + 1;
+        exhausted = false;
+        return reply;
+      }
+      last_error = nullptr;  // quality failure, not an exception
+    } catch (const std::exception&) {
+      // Pipeline aborts (typed ExactPipelineError) and convergence
+      // failures under extreme faults (GQ_REQUIRE) are both failed
+      // attempts; structural misuse was rejected before the loop.
+      last_error = std::current_exception();
+    }
+  }
+  exhausted = true;
+  if (!cfg_.degrade_on_exhaustion) {
+    if (last_error != nullptr) std::rethrow_exception(last_error);
+    throw std::runtime_error(
+        "supervisor budget exhausted: quality below threshold");
+  }
+  return {};
+}
+
+void QuantileService::record_outcome(Breaker& breaker, bool exhausted) {
+  if (cfg_.breaker.open_after == 0) return;
+  if (!exhausted) {
+    breaker.consecutive_failures = 0;
+    breaker.state = BreakerState::kClosed;
+    return;
+  }
+  ++breaker.consecutive_failures;
+  if (breaker.state == BreakerState::kHalfOpen ||
+      breaker.consecutive_failures >= cfg_.breaker.open_after) {
+    breaker.state = BreakerState::kOpen;
+    breaker.opened_at = breaker.kind_queries;
+    ++breaker_opens_;
+  }
+}
+
+QueryReply QuantileService::degraded_reply(const QueryRequest& request,
+                                           std::uint64_t seed,
+                                           std::uint32_t attempts_spent) {
+  GQ_SPAN("service/degraded");
+  GQ_REQUIRE(degraded_summary_ != nullptr && !degraded_summary_->empty(),
+             "degraded path needs a sealed epoch summary");
+  ++degraded_answers_;
+  const KllSketch& summary = *degraded_summary_;
+  const auto m = static_cast<double>(instance_.size());
+  QueryReply reply;
+  reply.kind = request.kind;
+  reply.quality = AnswerQuality::kDegraded;
+  reply.error_bound = summary.rank_error_bound();
+  reply.attempts = attempts_spent;
+  reply.seed = seed;  // the base seed; no attempt ran to completion
+  reply.served = 0;   // no node served an answer — the service did
+  switch (request.kind) {
+    case QueryKind::kQuantile:
+    case QueryKind::kExactQuantile:
+      reply.phi = request.phi;
+      reply.answer = summary.quantile(request.phi);
+      reply.value = reply.answer.value;
+      break;
+    case QueryKind::kRank: {
+      const double fraction = static_cast<double>(summary.rank(
+                                  probe_key(request.value))) /
+                              static_cast<double>(summary.count());
+      reply.fraction = fraction;
+      reply.count = static_cast<std::uint64_t>(std::llround(fraction * m));
+      break;
+    }
+    case QueryKind::kCdf:
+      reply.cdf_counts.reserve(request.cdf_points.size());
+      reply.cdf.reserve(request.cdf_points.size());
+      for (const double point : request.cdf_points) {
+        const double fraction =
+            static_cast<double>(summary.rank(probe_key(point))) /
+            static_cast<double>(summary.count());
+        reply.cdf.push_back(fraction);
+        reply.cdf_counts.push_back(
+            static_cast<std::uint64_t>(std::llround(fraction * m)));
+      }
+      break;
+    case QueryKind::kMultiQuantile:
+      reply.multi_answers.reserve(request.phis.size());
+      reply.multi_values.reserve(request.phis.size());
+      for (const double phi : request.phis) {
+        const Key answer = summary.quantile(phi);
+        reply.multi_answers.push_back(answer);
+        reply.multi_values.push_back(answer.value);
+      }
+      break;
+  }
+  return reply;
+}
+
+QuantileService::BreakerState QuantileService::breaker_state(
+    QueryKind kind) const noexcept {
+  return breakers_[static_cast<std::size_t>(kind)].state;
 }
 
 std::vector<QueryReply> QuantileService::query_batch(
@@ -213,15 +393,41 @@ std::vector<QueryReply> QuantileService::query_batch(
 }
 
 QueryReply QuantileService::run_quantile(const QueryRequest& request,
-                                         std::uint64_t /*seed*/) {
-  ApproxQuantileParams params = cfg_.approx;
-  params.phi = request.phi;
-  if (request.eps > 0.0) params.eps = request.eps;
-  const ApproxQuantileResult res =
-      approx_quantile_keys(*engine_, instance_, params);
+                                         std::uint64_t /*seed*/,
+                                         const AttemptPlan& plan) {
   QueryReply reply;
   reply.kind = QueryKind::kQuantile;
   reply.phi = request.phi;
+  if (plan.robust_promoted) {
+    // Escalated retries route through the filtered adversarial pipeline:
+    // whatever broke the plain tournament (adversarial corruption, heavy
+    // loss) is exactly what the majority-filter branch is built for.
+    AdversarialQuantileParams params;
+    params.phi = request.phi;
+    params.eps = request.eps > 0.0 ? request.eps : cfg_.approx.eps;
+    params.min_served_fraction = cfg_.supervisor.min_served_fraction;
+    params.max_corruption_exposure = cfg_.supervisor.max_corruption_exposure;
+    params = escalated(params, plan);
+    const AdversarialQuantileResult res =
+        adversarial_quantile_keys(*engine_, instance_, params);
+    for (std::size_t v = 0; v < res.valid.size(); ++v) {
+      if (res.valid[v]) {
+        reply.answer = res.outputs[v];
+        break;
+      }
+    }
+    reply.value = reply.answer.value;
+    reply.rounds = res.rounds;
+    reply.served = static_cast<std::uint32_t>(res.served_nodes());
+    reply.transcript_hash = transcript_hash(res.outputs, res.valid);
+    return reply;
+  }
+  ApproxQuantileParams params = cfg_.approx;
+  params.phi = request.phi;
+  if (request.eps > 0.0) params.eps = request.eps;
+  params = escalated(params, plan);  // attempt 0: returns params unchanged
+  const ApproxQuantileResult res =
+      approx_quantile_keys(*engine_, instance_, params);
   for (std::size_t v = 0; v < res.valid.size(); ++v) {
     if (res.valid[v]) {
       reply.answer = res.outputs[v];
@@ -237,13 +443,19 @@ QueryReply QuantileService::run_quantile(const QueryRequest& request,
 }
 
 QueryReply QuantileService::run_multi_quantile(const QueryRequest& request,
-                                               std::uint64_t /*seed*/) {
+                                               std::uint64_t /*seed*/,
+                                               const AttemptPlan& plan) {
   MultiQuantileParams params;
   params.phis = request.phis;
   params.eps = cfg_.approx.eps;
   params.final_sample_size = cfg_.approx.final_sample_size;
   params.robust_coverage_rounds = cfg_.approx.robust_coverage_rounds;
   if (request.eps > 0.0) params.eps = request.eps;
+  // Escalation mirrors escalated(ApproxQuantileParams): coarser eps, more
+  // final samples, deeper robust coverage.  Attempt 0 is a no-op.
+  params.eps = std::min(0.49, params.eps * plan.eps_scale);
+  params.final_sample_size += 2 * plan.fanout_boost;
+  params.robust_coverage_rounds += plan.fanout_boost;
   const MultiQuantileResult res =
       multi_quantile_keys(*engine_, instance_, params);
   QueryReply reply;
@@ -385,6 +597,9 @@ ServiceStats QuantileService::stats() const {
   s.session_reuse_hits = session_.reuse_hits();
   s.engine_rebuilds = engine_rebuilds_;
   s.gossip_rounds = engine_ != nullptr ? engine_->metrics().rounds : 0;
+  s.retry_attempts = retry_attempts_;
+  s.degraded_answers = degraded_answers_;
+  s.breaker_opens = breaker_opens_;
   return s;
 }
 
@@ -425,7 +640,19 @@ std::string QuantileService::prometheus_text() const {
      << "# TYPE gq_service_live_nodes gauge\n"
      << "gq_service_live_nodes " << s.live_nodes << "\n"
      << "# TYPE gq_service_gossip_rounds_total counter\n"
-     << "gq_service_gossip_rounds_total " << s.gossip_rounds << "\n";
+     << "gq_service_gossip_rounds_total " << s.gossip_rounds << "\n"
+     << "# TYPE gq_service_retry_attempts_total counter\n"
+     << "gq_service_retry_attempts_total " << s.retry_attempts << "\n"
+     << "# TYPE gq_service_degraded_answers_total counter\n"
+     << "gq_service_degraded_answers_total " << s.degraded_answers << "\n"
+     << "# TYPE gq_service_breaker_opens_total counter\n"
+     << "gq_service_breaker_opens_total " << s.breaker_opens << "\n";
+  os << "# TYPE gq_service_breaker_state gauge\n";
+  for (std::size_t k = 0; k < breakers_.size(); ++k) {
+    // 0 = closed, 1 = open, 2 = half-open.
+    os << "gq_service_breaker_state{kind=\"" << kQueryKindNames[k] << "\"} "
+       << static_cast<int>(breakers_[k].state) << "\n";
+  }
   os << "# TYPE gq_service_query_seconds summary\n";
   for (std::size_t k = 0; k < query_latency_ns_.size(); ++k) {
     const LogHistogram& h = query_latency_ns_[k];

@@ -40,12 +40,36 @@
 // sequence converging to the same per-node streams answers pinned-seed
 // queries identically to a fresh service built on that membership.
 //
+// ## Resilience
+//
+// Every gossip-backed query runs under the deterministic supervisor
+// (core/supervisor.hpp): a failed attempt — pipeline abort, served fraction
+// below policy, round deadline — retries with a reseeded stream and
+// escalated parameters, up to the configured budget.  Attempt 0 uses the
+// query's own seed with untouched parameters, so a query whose first
+// attempt succeeds is bit-identical to the pre-supervision service (and to
+// a cold one-shot run).  When the budget is exhausted the service *degrades
+// instead of throwing*: the reply is answered from the sealed epoch's
+// merged summary sketch (built at seal time, rank error <= the sketch's
+// bound), tagged AnswerQuality::kDegraded with the bound in error_bound.
+//
+// A per-QueryKind circuit breaker sits in front of the supervisor: after
+// `breaker.open_after` consecutive exhausted queries of one kind the
+// breaker opens and subsequent queries of that kind serve the degraded
+// answer immediately (no gossip, no attempt budget burned) for
+// `breaker.cooldown_queries` queries of that kind; the next query is the
+// half-open probe that either closes the breaker or re-opens it.  All
+// transitions advance on query counts, never wall time, so the whole
+// resilience layer is as deterministic and replayable as the pipelines.
+//
 // ## Errors
 //
-// kExactQuantile propagates ExactPipelineError (recoverable — the service
-// and its engine stay usable; see core/result.hpp).  Structural misuse
-// (unknown node ids, ingest into departed nodes, queries with fewer than
-// two contributing nodes) throws std::invalid_argument via GQ_REQUIRE.
+// With degrade_on_exhaustion = false, kExactQuantile propagates the last
+// attempt's ExactPipelineError (recoverable — the service and its engine
+// stay usable; see core/result.hpp) once the supervisor budget is spent.
+// Structural misuse (unknown node ids, ingest into departed nodes, queries
+// with fewer than two contributing nodes) throws std::invalid_argument via
+// GQ_REQUIRE regardless — misuse is a bug, not a fault to absorb.
 #pragma once
 
 #include <array>
@@ -79,6 +103,11 @@ struct ServiceStats {
   std::uint64_t session_reuse_hits = 0;  // seals with zero new keys
   std::uint64_t engine_rebuilds = 0;   // membership-change reconstructions
   std::uint64_t gossip_rounds = 0;     // engine rounds across all queries
+
+  // Resilience counters (see "Resilience" below).
+  std::uint64_t retry_attempts = 0;    // supervised attempts beyond the first
+  std::uint64_t degraded_answers = 0;  // replies served from the summary
+  std::uint64_t breaker_opens = 0;     // closed/half-open -> open transitions
 };
 
 class QuantileService {
@@ -134,18 +163,43 @@ class QuantileService {
   [[nodiscard]] std::string latency_summary() const;
   [[nodiscard]] std::string prometheus_text() const;
 
+  // Current circuit-breaker state of a query kind (observability; the
+  // breaker itself is driven entirely by query()).
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+  [[nodiscard]] BreakerState breaker_state(QueryKind kind) const noexcept;
+
  private:
+  // Circuit breaker state of one query kind; see the Resilience overview.
+  // All fields advance on queries of that kind only.
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    std::uint32_t consecutive_failures = 0;
+    std::uint64_t kind_queries = 0;  // queries of this kind so far
+    std::uint64_t opened_at = 0;     // kind_queries when last opened
+  };
+
   [[nodiscard]] Stream& live_stream(std::uint32_t node);
   void build_instance();
+  void build_degraded_summary();
   [[nodiscard]] std::uint64_t next_query_seed(const QueryRequest& request);
   void prepare_engine(std::uint64_t seed);
 
-  QueryReply run_quantile(const QueryRequest& request, std::uint64_t seed);
+  // One supervised query: breaker consultation, attempt loop, degraded
+  // fallback.  `dispatch` runs the kind-specific pipeline body.
+  QueryReply run_resilient(const QueryRequest& request, std::uint64_t seed);
+  QueryReply run_attempts(const QueryRequest& request, std::uint64_t seed,
+                          std::uint32_t max_attempts, bool& exhausted);
+  QueryReply degraded_reply(const QueryRequest& request, std::uint64_t seed,
+                            std::uint32_t attempts_spent);
+  void record_outcome(Breaker& breaker, bool exhausted);
+
+  QueryReply run_quantile(const QueryRequest& request, std::uint64_t seed,
+                          const AttemptPlan& plan);
   QueryReply run_exact(const QueryRequest& request, std::uint64_t seed);
   QueryReply run_rank(const QueryRequest& request, std::uint64_t seed);
   QueryReply run_cdf(const QueryRequest& request, std::uint64_t seed);
   QueryReply run_multi_quantile(const QueryRequest& request,
-                                std::uint64_t seed);
+                                std::uint64_t seed, const AttemptPlan& plan);
 
   ServiceConfig cfg_;
   // Index = node id; departed nodes leave a null slot (ids stay stable).
@@ -163,6 +217,14 @@ class QuantileService {
   std::uint64_t engine_rebuilds_ = 0;
   std::vector<bool> indicator_a_, indicator_b_, indicator_c_;  // rank scratch
   std::array<LogHistogram, 5> query_latency_ns_;  // indexed by QueryKind
+
+  // Resilience state: the epoch's merged summary (degraded answers), the
+  // per-kind breakers, and the lifetime counters surfaced via stats().
+  std::unique_ptr<KllSketch> degraded_summary_;  // rebuilt at every seal
+  std::array<Breaker, 5> breakers_;              // indexed by QueryKind
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t degraded_answers_ = 0;
+  std::uint64_t breaker_opens_ = 0;
 };
 
 }  // namespace gq

@@ -17,6 +17,17 @@ enum class QueryKind {
   kMultiQuantile,  // all phi targets in ONE shared tournament schedule
 };
 
+// How a reply was produced.  kFull answers ran a gossip pipeline to
+// completion; kDegraded answers come from the sealed epoch's centrally
+// merged summary sketch after the supervisor exhausted its attempt budget
+// (or while the query kind's circuit breaker is open) — see
+// quantile_service.hpp "Resilience".  A degraded reply is approximate
+// (error_bound says by how much, in rank space) but never an exception.
+enum class AnswerQuality : std::uint8_t {
+  kFull,
+  kDegraded,
+};
+
 struct QueryRequest {
   QueryKind kind = QueryKind::kQuantile;
 
@@ -68,6 +79,17 @@ struct QueryReply {
   std::uint32_t served = 0;  // nodes holding a valid output (== nodes when
                              // failure-free)
   bool used_exact_fallback = false;  // approx ran the exact bootstrap route
+
+  // Resilience annotations (see quantile_service.hpp "Resilience").
+  // `attempts` counts supervised pipeline attempts consumed (0 when the
+  // breaker short-circuited the query straight to the degraded path).  For
+  // kDegraded replies `seed` is the query's base seed (no attempt ran to
+  // completion) and `error_bound` is the summary sketch's additive rank
+  // error as a fraction of the instance — the answer is a phi' quantile for
+  // some |phi' - phi| <= error_bound.  kFull replies have error_bound 0.
+  AnswerQuality quality = AnswerQuality::kFull;
+  double error_bound = 0.0;
+  std::uint32_t attempts = 1;
 
   // FNV-1a over the per-node outputs and valid mask: a compact fingerprint
   // of the full transcript, so tests can pin warm-session replies

@@ -6,10 +6,30 @@
 #include <cstdint>
 
 #include "core/params.hpp"
+#include "core/supervisor.hpp"
 #include "engine/engine_config.hpp"
 #include "sim/failure_model.hpp"
 
 namespace gq {
+
+class AdversaryStrategy;
+
+// Per-QueryKind circuit breaker (see quantile_service.hpp "Resilience").
+// State advances on *query counts of that kind*, never on wall time, so the
+// breaker's behaviour is part of the service's deterministic call-log
+// contract.
+struct CircuitBreakerConfig {
+  // Consecutive supervisor-exhausted queries of one kind that trip the
+  // breaker open.  0 disables the breaker entirely (every query runs the
+  // full attempt budget).
+  std::uint32_t open_after = 3;
+
+  // While open, this many queries of the kind are served degraded without
+  // touching the engine; the next one after the cooldown is the half-open
+  // probe (full supervised run — success closes the breaker, failure
+  // re-opens it for another cooldown).
+  std::uint64_t cooldown_queries = 8;
+};
 
 // How a sealed epoch turns the live per-node stream summaries into the
 // one-key-per-node gossip instance the engine pipelines run on.
@@ -57,6 +77,26 @@ struct ServiceConfig {
   // Failure model applied to query-time gossip: queries route through the
   // robust Section-5 pipelines and replies report the served-node count.
   FailureModel failures;
+
+  // Optional adversary installed on the query engine at every seal
+  // (borrowed, not owned; must outlive the service).  Crash-churn and
+  // adaptive strategies from sim/adversary.hpp attack warm queries exactly
+  // as they attack cold one-shot runs — the warm == cold reply pins hold
+  // under an installed adversary too.
+  AdversaryStrategy* adversary = nullptr;
+
+  // Retry/escalation budget every query runs under (core/supervisor.hpp).
+  // With the defaults a clean first attempt is transcript-identical to the
+  // unsupervised pipeline, so zero-fault services never see the supervisor.
+  SupervisorPolicy supervisor;
+
+  CircuitBreakerConfig breaker;
+
+  // When the supervisor exhausts its budget: true serves a kDegraded answer
+  // from the epoch's merged summary sketch; false rethrows the last
+  // attempt's failure (pre-resilience behaviour, kept for tests and for
+  // callers that prefer loud failure over approximate answers).
+  bool degrade_on_exhaustion = true;
 
   // A session table more than this many times larger than the current
   // instance's node count is compacted by a full re-intern on the next

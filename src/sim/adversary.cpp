@@ -117,6 +117,82 @@ Fault ScatterCorruptAdversary::fault(std::uint32_t node,
   return Fault{};
 }
 
+// ---- CrashChurnAdversary --------------------------------------------------
+
+CrashChurnAdversary::CrashChurnAdversary(Config config) : config_(config) {
+  GQ_REQUIRE(config.crash_window > 0, "crash window must be positive");
+}
+
+CrashChurnAdversary::CrashChurnAdversary(std::vector<CrashEvent> schedule)
+    : pinned_(true), schedule_(std::move(schedule)) {
+  for (const CrashEvent& event : schedule_) {
+    GQ_REQUIRE(event.crash_round < event.recover_round,
+               "a crash must precede its recovery");
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.node != b.node ? a.node < b.node
+                                      : a.crash_round < b.crash_round;
+            });
+}
+
+std::uint64_t CrashChurnAdversary::budget_per_round() const noexcept {
+  return schedule_.size();
+}
+
+void CrashChurnAdversary::bind(std::uint64_t seed, std::uint32_t n) {
+  AdversaryStrategy::bind(seed, n);
+  if (pinned_) return;
+  // Regenerate the schedule as a pure function of (seed, strategy seed, n):
+  // both executors bind with the same seed and recompute the identical
+  // lifecycle plan, so fault() answers match bit for bit.
+  schedule_.clear();
+  const std::uint32_t k = std::min(config_.crashes, n);
+  if (k == 0) return;
+  SplitMix64 gen(derive_seed(
+      seed ^ (config_.strategy_seed * 0x9e3779b97f4a7c15ULL), 0xc7a54ULL));
+  schedule_.reserve(k);
+  std::vector<std::uint32_t> victims;
+  victims.reserve(k);
+  while (victims.size() < k) {
+    const auto v = static_cast<std::uint32_t>(rand_index(gen, n));
+    if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+      victims.push_back(v);
+    }
+  }
+  for (const std::uint32_t v : victims) {
+    CrashEvent event;
+    event.node = v;
+    event.crash_round =
+        config_.first_round + rand_index(gen, config_.crash_window);
+    event.recover_round = config_.down_rounds > 0
+                              ? event.crash_round + config_.down_rounds
+                              : kNoRecovery;
+    schedule_.push_back(event);
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.node != b.node ? a.node < b.node
+                                      : a.crash_round < b.crash_round;
+            });
+}
+
+Fault CrashChurnAdversary::fault(std::uint32_t node,
+                                 std::uint64_t round) const {
+  const auto first = std::lower_bound(
+      schedule_.begin(), schedule_.end(), node,
+      [](const CrashEvent& event, std::uint32_t v) { return event.node < v; });
+  bool recovering = false;
+  for (auto it = first; it != schedule_.end() && it->node == node; ++it) {
+    if (round >= it->crash_round && round < it->recover_round) {
+      return Fault{.kind = FaultKind::kCrash};
+    }
+    if (round == it->recover_round) recovering = true;
+  }
+  if (recovering) return Fault{.kind = FaultKind::kRecover};
+  return Fault{};
+}
+
 // ---- BudgetBurstAdversary -------------------------------------------------
 
 BudgetBurstAdversary::BudgetBurstAdversary(std::uint32_t budget,

@@ -41,6 +41,18 @@
 //   * kDelay    — delivery is postponed by `Fault::delay` rounds (dropped if
 //     the block ends first).  Legacy pipelines conservatively treat a
 //     delayed message as lost for the round it was sent.
+//   * kCrash    — node-lifecycle fault: the node is *down* this round.  A
+//     crashed node sends nothing, receives nothing (pulls of its state find
+//     nobody home, deliveries addressed to it are lost), and is excluded
+//     from served sets while down.  The adversarial pipelines implement the
+//     full semantics in their shared fold; legacy pipelines see the crashed
+//     node's own rounds as failed operations (op_fails), the same
+//     conservative reading they give kDrop/kDelay.
+//   * kRecover  — returned exactly on the first round a crashed node is back
+//     up.  Message semantics are kNone (the node operates normally); it
+//     exists so executors can tally recovery events.  Strategies must emit
+//     kCrash for every down round and kRecover only on the round after the
+//     last down round.
 #pragma once
 
 #include <cstdint>
@@ -52,7 +64,14 @@
 
 namespace gq {
 
-enum class FaultKind : std::uint8_t { kNone, kDrop, kCorrupt, kDelay };
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kDrop,
+  kCorrupt,
+  kDelay,
+  kCrash,
+  kRecover,
+};
 
 struct Fault {
   FaultKind kind = FaultKind::kNone;
@@ -210,6 +229,61 @@ class ScatterCorruptAdversary final : public AdversaryStrategy {
   std::uint32_t budget_;
   double inject_value_;
   std::uint64_t strategy_seed_;
+};
+
+// One node-lifecycle episode: `node` is down for rounds
+// [crash_round, recover_round) and reports kRecover exactly at
+// recover_round.  recover_round == kNoRecovery means the node never comes
+// back.
+struct CrashEvent {
+  std::uint32_t node = 0;
+  std::uint64_t crash_round = 0;
+  std::uint64_t recover_round = 0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+inline constexpr std::uint64_t kNoRecovery = ~std::uint64_t{0};
+
+// Crash-churn: whole nodes die mid-run and (optionally) come back.  Two
+// modes:
+//   * randomized — bind() draws `Config::crashes` distinct victims with
+//     pseudorandom crash rounds in [first_round, first_round + crash_window)
+//     and a fixed downtime, all a pure function of (bind seed, strategy
+//     seed, n), so both executors regenerate the identical schedule;
+//   * pinned — an explicit CrashEvent schedule, immune to bind() (tests and
+//     forced-failure scenarios use this to crash a named node forever).
+// fault() is a read-only schedule lookup: pure and thread-safe.
+class CrashChurnAdversary final : public AdversaryStrategy {
+ public:
+  struct Config {
+    std::uint32_t crashes = 1;        // distinct victims per run
+    std::uint64_t first_round = 1;    // earliest crash round
+    std::uint64_t crash_window = 64;  // crash rounds drawn from this span
+    std::uint64_t down_rounds = 16;   // downtime; 0 = never recovers
+    std::uint64_t strategy_seed = 0;
+  };
+
+  explicit CrashChurnAdversary(Config config);
+  explicit CrashChurnAdversary(std::vector<CrashEvent> schedule);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "crash_churn";
+  }
+  [[nodiscard]] std::uint64_t budget_per_round() const noexcept override;
+  void bind(std::uint64_t seed, std::uint32_t n) override;
+  [[nodiscard]] Fault fault(std::uint32_t node,
+                            std::uint64_t round) const override;
+
+  // The full lifecycle schedule, sorted by (node, crash_round).
+  [[nodiscard]] std::span<const CrashEvent> schedule() const noexcept {
+    return schedule_;
+  }
+
+ private:
+  Config config_{};
+  bool pinned_ = false;  // explicit schedule: bind() must not regenerate
+  std::vector<CrashEvent> schedule_;
 };
 
 // Bursty delays: for `burst_rounds` out of every `period` rounds, delays the

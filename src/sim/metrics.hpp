@@ -69,6 +69,13 @@ struct Metrics {
   std::uint64_t adversary_corrupted = 0;  // payload replaced
   std::uint64_t adversary_delayed = 0;    // delivery postponed
 
+  // Crash-churn lifecycle tallies (FaultKind::kCrash / kRecover).  Crashed
+  // node-rounds send nothing, so unlike the in-transit tallies above these
+  // operations are *not* billed as messages.
+  std::uint64_t adversary_crashed = 0;        // node-rounds spent down
+  std::uint64_t adversary_crash_dropped = 0;  // pulls lost to a down peer
+  std::uint64_t adversary_recovered = 0;      // recovery events observed
+
   // Cumulative count of messages per distinct size, sorted by size.
   metrics_detail::SizeCounts size_counts;
 
@@ -86,6 +93,9 @@ struct Metrics {
     adversary_dropped = 0;
     adversary_corrupted = 0;
     adversary_delayed = 0;
+    adversary_crashed = 0;
+    adversary_crash_dropped = 0;
+    adversary_recovered = 0;
     size_counts.clear();
   }
 
@@ -98,7 +108,9 @@ struct Metrics {
     return rounds == 0 && messages == 0 && message_bits == 0 &&
            max_message_bits == 0 && failed_operations == 0 &&
            adversary_dropped == 0 && adversary_corrupted == 0 &&
-           adversary_delayed == 0 && size_counts.empty();
+           adversary_delayed == 0 && adversary_crashed == 0 &&
+           adversary_crash_dropped == 0 && adversary_recovered == 0 &&
+           size_counts.empty();
   }
 
   void record_message(std::uint64_t bits) { record_messages(1, bits); }
@@ -124,6 +136,9 @@ struct Metrics {
     adversary_dropped += other.adversary_dropped;
     adversary_corrupted += other.adversary_corrupted;
     adversary_delayed += other.adversary_delayed;
+    adversary_crashed += other.adversary_crashed;
+    adversary_crash_dropped += other.adversary_crash_dropped;
+    adversary_recovered += other.adversary_recovered;
     for (const auto& [bits, count] : other.size_counts) {
       metrics_detail::add_size(size_counts, bits, count);
     }
@@ -142,6 +157,10 @@ struct Metrics {
     d.adversary_dropped = adversary_dropped - earlier.adversary_dropped;
     d.adversary_corrupted = adversary_corrupted - earlier.adversary_corrupted;
     d.adversary_delayed = adversary_delayed - earlier.adversary_delayed;
+    d.adversary_crashed = adversary_crashed - earlier.adversary_crashed;
+    d.adversary_crash_dropped =
+        adversary_crash_dropped - earlier.adversary_crash_dropped;
+    d.adversary_recovered = adversary_recovered - earlier.adversary_recovered;
     for (const auto& [bits, count] : size_counts) {
       const std::uint64_t before =
           metrics_detail::count_at(earlier.size_counts, bits);

@@ -74,6 +74,19 @@ class Network {
     return adversary_;
   }
 
+  // Rebases this executor onto a fresh randomness stream: new master seed,
+  // round counter back to zero, installed adversary re-bound.  A run after
+  // reset_stream(s) is transcript-identical to one on a Network constructed
+  // with seed s — the supervisor's retry attempts (core/supervisor.hpp)
+  // rely on this, exactly as warm service queries rely on the Engine's
+  // counterpart.  Metrics keep accumulating; callers snapshot/`since` around
+  // each attempt.
+  void reset_stream(std::uint64_t seed) {
+    seed_ = seed;
+    round_ = 0;
+    if (adversary_ != nullptr) adversary_->bind(seed_, n_);
+  }
+
   // True iff no fault source is installed at all — no failure model and no
   // adversary.  The failure-free pipeline variants key off this (the
   // never_fails() of the pre-adversary era).
@@ -99,10 +112,11 @@ class Network {
 
   // Samples whether node v's operation fails in the current round.  Uses a
   // dedicated stream so the failure coin does not perturb peer choices.
-  // With an adversary installed, a kDrop or kDelay fault on v's message also
+  // With an adversary installed, a kDrop, kDelay, or kCrash fault on v also
   // reads as a failed operation here (legacy pipelines have no payload layer
-  // to corrupt or mailbox to delay into; kCorrupt is a no-op at this level —
-  // only the adversarial pipelines apply it).
+  // to corrupt or mailbox to delay into, and no lifecycle notion — a down
+  // node simply loses its rounds; kCorrupt is a no-op at this level — only
+  // the adversarial pipelines apply it).
   [[nodiscard]] bool node_fails(std::uint32_t v) const {
     return op_fails(v, round_);
   }
@@ -113,7 +127,8 @@ class Network {
     if (streams::node_fails(seed_, round, v, failures_)) return true;
     if (adversary_ == nullptr) return false;
     const Fault f = adversary_->fault(v, round);
-    return f.kind == FaultKind::kDrop || f.kind == FaultKind::kDelay;
+    return f.kind == FaultKind::kDrop || f.kind == FaultKind::kDelay ||
+           f.kind == FaultKind::kCrash;
   }
 
   // Uniformly random node other than v, drawn from `stream`.

@@ -46,6 +46,20 @@ namespace gq::streams {
   return rand_bernoulli(s, p);
 }
 
+// Deterministic reseeding for supervised retries (core/supervisor.hpp):
+// the seed of attempt `attempt` over base seed `base_seed`.  Attempt 0 IS
+// the unsupervised run — it returns base_seed unchanged, which is what
+// makes a zero-fault supervised run transcript-identical to the bare
+// pipeline.  Later attempts derive statistically independent streams from
+// (base_seed, attempt) alone, so every retry is reproducible from the base
+// seed and both executors re-derive the identical sequence.
+[[nodiscard]] inline std::uint64_t attempt_seed(std::uint64_t base_seed,
+                                                std::uint32_t attempt) {
+  if (attempt == 0) return base_seed;
+  return derive_seed(base_seed ^ 0xa77e3b7a5eedULL,
+                     static_cast<std::uint64_t>(attempt));
+}
+
 // Uniformly random node in [0, n) other than v, drawn from `stream`.
 [[nodiscard]] inline std::uint32_t sample_peer(std::uint32_t v,
                                                std::uint32_t n,

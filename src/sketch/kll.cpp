@@ -112,6 +112,16 @@ Key KllSketch::quantile(double phi) const {
   return weighted.back().first;
 }
 
+double KllSketch::rank_error_bound() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (levels_.size() == 1) {
+    // No compaction yet: every item is stored, so rank() is exact and
+    // quantile() is off by at most the rank resolution of one item.
+    return 0.5 / static_cast<double>(count_);
+  }
+  return std::min(1.0, 4.0 / static_cast<double>(k_));
+}
+
 std::uint64_t KllSketch::message_bits(std::uint32_t n) const {
   // Stored keys plus one level-size word per level.
   return space() * key_bits(n) + levels_.size() * 32;

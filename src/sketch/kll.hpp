@@ -45,6 +45,14 @@ class KllSketch {
   // Estimated phi-quantile over everything inserted.
   [[nodiscard]] Key quantile(double phi) const;
 
+  // Conservative additive rank-error bound for quantile()/rank(), as a
+  // fraction of count().  While the sketch is still uncompacted (every item
+  // retained at level 0) answers are exact up to rank resolution; after the
+  // first compaction the standard KLL analysis bounds the error by
+  // O(1/k) w.h.p. — reported with a conservative constant so the service's
+  // degraded answers can state "phi within +/- bound".
+  [[nodiscard]] double rank_error_bound() const noexcept;
+
   // Serialized size in bits under the model's accounting (used when a
   // sketch is shipped as a gossip message).
   [[nodiscard]] std::uint64_t message_bits(std::uint32_t n) const;

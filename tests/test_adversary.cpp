@@ -235,7 +235,7 @@ TEST(AdversaryBoundary, BudgetZeroIsTranscriptIdenticalToNoAdversary) {
   Network clean_m(kN, kSeed);
   const auto base_m = adversarial_mean(clean_m, values, mparams);
   EXPECT_EQ(base_q.quality.corruption_exposure, 0.0);
-  EXPECT_FALSE(base_q.quality.degraded);
+  EXPECT_TRUE(base_q.quality.ok());
   EXPECT_EQ(base_q.served_nodes(), kN);
 
   GreedyTargetedAdversary greedy(0, 1e6);
@@ -389,7 +389,7 @@ TEST(AdversaryProperties, FilteredQuantileStaysAccurateUnderSmallBudget) {
   // The adversary hijacks at most budget nodes' channels per round; the
   // rest of the network must still land in the eps window.
   EXPECT_GE(result.quality.served_fraction, 0.95);
-  EXPECT_FALSE(result.quality.degraded);
+  EXPECT_TRUE(result.quality.ok());
   std::vector<Key> served;
   for (std::uint32_t v = 0; v < kN; ++v) {
     if (result.valid[v]) served.push_back(result.outputs[v]);
@@ -482,7 +482,7 @@ TEST(AdversaryProperties, EclipseDegradesOnlyTheEclipsedNodes) {
     if (v >= kFirst && v < kFirst + kBudget) continue;
     EXPECT_TRUE(result.valid[v]) << "v=" << v;
   }
-  EXPECT_TRUE(result.quality.degraded);  // 93.75% < 99% threshold
+  EXPECT_FALSE(result.quality.ok());  // 93.75% < 99% threshold
   EXPECT_GT(result.quality.messages_dropped, 0u);
 }
 
